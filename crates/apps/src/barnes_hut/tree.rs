@@ -1,0 +1,474 @@
+//! The Barnes-Hut octree: construction, Morton-ordered enumeration, and
+//! force evaluation with the opening criterion.
+//!
+//! Pure in-memory code: the application layer runs it inside DSM sections
+//! (build in the sequential section, traversal in the parallel force
+//! phase) over locally cached copies of the shared arrays, charging the
+//! modeled per-operation costs explicitly.
+
+// Index loops over the three spatial axes are the natural idiom here.
+#![allow(clippy::needless_range_loop)]
+
+use repseq_dsm::impl_pod_struct;
+#[cfg(test)]
+use repseq_dsm::Pod;
+
+/// Encoding of a cell's child slot.
+pub const CHILD_EMPTY: u32 = 0;
+
+/// One octree cell, laid out for the shared heap. `children[k]` is 0 when
+/// empty, `1 + body` for a leaf body, or `1 + n_bodies + cell` for a
+/// subcell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    pub children: [u32; 8],
+    /// Center of mass.
+    pub com: [f64; 3],
+    /// Total mass.
+    pub mass: f64,
+    /// Geometric center of the cube.
+    pub center: [f64; 3],
+    /// Half the cube's side length.
+    pub half: f64,
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Cell {
+            children: [CHILD_EMPTY; 8],
+            com: [0.0; 3],
+            mass: 0.0,
+            center: [0.0; 3],
+            half: 0.0,
+        }
+    }
+}
+
+impl_pod_struct!(Cell {
+    children: [u32; 8],
+    com: [f64; 3],
+    mass: f64,
+    center: [f64; 3],
+    half: f64
+});
+
+/// Child-slot decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Child {
+    Empty,
+    Body(usize),
+    Cell(usize),
+}
+
+#[inline]
+pub fn decode_child(raw: u32, n_bodies: usize) -> Child {
+    if raw == CHILD_EMPTY {
+        Child::Empty
+    } else if (raw as usize) <= n_bodies {
+        Child::Body(raw as usize - 1)
+    } else {
+        Child::Cell(raw as usize - 1 - n_bodies)
+    }
+}
+
+#[inline]
+fn encode_body(i: usize) -> u32 {
+    (i + 1) as u32
+}
+
+#[inline]
+fn encode_cell(i: usize, n_bodies: usize) -> u32 {
+    (i + 1 + n_bodies) as u32
+}
+
+/// Counters for the modeled cost of a build.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuildStats {
+    /// Levels descended across all insertions.
+    pub descents: u64,
+    /// Cells created.
+    pub cells_created: u64,
+}
+
+/// An octree over a set of points. Construction is deterministic: given
+/// identical inputs, every node of the cluster builds bit-identical trees
+/// (the paper's requirement for replicated sequential execution).
+pub struct Octree {
+    pub cells: Vec<Cell>,
+    pub n_bodies: usize,
+    pub stats: BuildStats,
+}
+
+impl Octree {
+    /// Build the tree over `pos`/`mass` (parallel arrays). Bodies with
+    /// non-finite coordinates are rejected.
+    pub fn build(pos: &[[f64; 3]], mass: &[f64]) -> Octree {
+        assert_eq!(pos.len(), mass.len());
+        let n = pos.len();
+        let mut stats = BuildStats::default();
+        let mut cells: Vec<Cell> = Vec::with_capacity(n / 2 + 16);
+
+        // Bounding cube (reading every particle — the access that makes
+        // the sequential section contend, §6.1.1).
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in pos {
+            for d in 0..3 {
+                assert!(p[d].is_finite(), "non-finite body coordinate");
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        if n == 0 {
+            return Octree { cells, n_bodies: 0, stats };
+        }
+        let center = [
+            (lo[0] + hi[0]) * 0.5,
+            (lo[1] + hi[1]) * 0.5,
+            (lo[2] + hi[2]) * 0.5,
+        ];
+        let half = (0..3)
+            .map(|d| (hi[d] - lo[d]) * 0.5)
+            .fold(0.0f64, f64::max)
+            .max(1e-12)
+            * 1.0000001; // slack so boundary bodies stay inside
+
+        let root = Cell { center, half, ..Cell::default() };
+        cells.push(root);
+        stats.cells_created += 1;
+
+        for b in 0..n {
+            Self::insert(&mut cells, &mut stats, 0, b, pos, n);
+        }
+        Self::compute_com(&mut cells, 0, pos, mass, n);
+        Octree { cells, n_bodies: n, stats }
+    }
+
+    /// Octant of `p` relative to `c`.
+    #[inline]
+    fn octant(c: &Cell, p: &[f64; 3]) -> usize {
+        (usize::from(p[0] >= c.center[0]))
+            | (usize::from(p[1] >= c.center[1]) << 1)
+            | (usize::from(p[2] >= c.center[2]) << 2)
+    }
+
+    fn child_center(c: &Cell, oct: usize) -> ([f64; 3], f64) {
+        let h = c.half * 0.5;
+        let mut ctr = c.center;
+        ctr[0] += if oct & 1 != 0 { h } else { -h };
+        ctr[1] += if oct & 2 != 0 { h } else { -h };
+        ctr[2] += if oct & 4 != 0 { h } else { -h };
+        (ctr, h)
+    }
+
+    fn insert(
+        cells: &mut Vec<Cell>,
+        stats: &mut BuildStats,
+        mut ci: usize,
+        body: usize,
+        pos: &[[f64; 3]],
+        n: usize,
+    ) {
+        let mut depth = 0usize;
+        loop {
+            depth += 1;
+            assert!(
+                depth < 256,
+                "octree depth exceeded — coincident bodies? body {body} at {:?}",
+                pos[body]
+            );
+            stats.descents += 1;
+            let oct = Self::octant(&cells[ci], &pos[body]);
+            match decode_child(cells[ci].children[oct], n) {
+                Child::Empty => {
+                    cells[ci].children[oct] = encode_body(body);
+                    return;
+                }
+                Child::Cell(sub) => {
+                    ci = sub;
+                }
+                Child::Body(other) => {
+                    // Split: create a subcell, push the resident body down,
+                    // continue inserting the new one.
+                    let (ctr, h) = Self::child_center(&cells[ci], oct);
+                    let sub = cells.len();
+                    cells.push(Cell { center: ctr, half: h, ..Cell::default() });
+                    stats.cells_created += 1;
+                    cells[ci].children[oct] = encode_cell(sub, n);
+                    let ooct = Self::octant(&cells[sub], &pos[other]);
+                    cells[sub].children[ooct] = encode_body(other);
+                    ci = sub;
+                }
+            }
+        }
+    }
+
+    fn compute_com(cells: &mut [Cell], ci: usize, pos: &[[f64; 3]], mass: &[f64], n: usize) {
+        let mut m = 0.0;
+        let mut com = [0.0f64; 3];
+        for k in 0..8 {
+            match decode_child(cells[ci].children[k], n) {
+                Child::Empty => {}
+                Child::Body(b) => {
+                    m += mass[b];
+                    for d in 0..3 {
+                        com[d] += mass[b] * pos[b][d];
+                    }
+                }
+                Child::Cell(sub) => {
+                    Self::compute_com(cells, sub, pos, mass, n);
+                    m += cells[sub].mass;
+                    for d in 0..3 {
+                        com[d] += cells[sub].mass * cells[sub].com[d];
+                    }
+                }
+            }
+        }
+        cells[ci].mass = m;
+        if m > 0.0 {
+            for d in 0..3 {
+                com[d] /= m;
+            }
+        }
+        cells[ci].com = com;
+    }
+
+    /// Bodies in Morton (depth-first, fixed child order) sequence — the
+    /// linear ordering the paper partitions particles by (§6.1.1).
+    pub fn morton_order(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_bodies);
+        if !self.cells.is_empty() {
+            self.morton_walk(0, &mut out);
+        }
+        out
+    }
+
+    fn morton_walk(&self, ci: usize, out: &mut Vec<u32>) {
+        for k in 0..8 {
+            match decode_child(self.cells[ci].children[k], self.n_bodies) {
+                Child::Empty => {}
+                Child::Body(b) => out.push(b as u32),
+                Child::Cell(sub) => self.morton_walk(sub, out),
+            }
+        }
+    }
+}
+
+/// Force evaluation over a (possibly locally cached) cell array.
+/// Returns the acceleration on the probe body and the number of
+/// interactions evaluated (the per-particle work the paper's partition
+/// weighs by).
+pub fn force_on(
+    cells: &[Cell],
+    n_bodies: usize,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    body: usize,
+    theta: f64,
+    eps2: f64,
+) -> ([f64; 3], u64) {
+    let mut acc = [0.0f64; 3];
+    let mut interactions = 0u64;
+    if cells.is_empty() {
+        return (acc, 0);
+    }
+    let p = pos[body];
+    // Explicit stack: the shared-heap tree can be deep.
+    let mut stack: Vec<usize> = vec![0];
+    while let Some(ci) = stack.pop() {
+        let c = &cells[ci];
+        let dx = [c.com[0] - p[0], c.com[1] - p[1], c.com[2] - p[2]];
+        let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+        let size = c.half * 2.0;
+        if d2 > 0.0 && size * size < theta * theta * d2 {
+            // Far enough: use the cell's center of mass.
+            interactions += 1;
+            add_kick(&mut acc, c.mass, &dx, d2, eps2);
+        } else {
+            for k in 0..8 {
+                match decode_child(c.children[k], n_bodies) {
+                    Child::Empty => {}
+                    Child::Body(b) => {
+                        if b != body {
+                            let dxb = [
+                                pos[b][0] - p[0],
+                                pos[b][1] - p[1],
+                                pos[b][2] - p[2],
+                            ];
+                            let d2b = dxb[0] * dxb[0] + dxb[1] * dxb[1] + dxb[2] * dxb[2];
+                            interactions += 1;
+                            add_kick(&mut acc, mass[b], &dxb, d2b, eps2);
+                        }
+                    }
+                    Child::Cell(sub) => stack.push(sub),
+                }
+            }
+        }
+    }
+    (acc, interactions)
+}
+
+#[inline]
+fn add_kick(acc: &mut [f64; 3], m: f64, dx: &[f64; 3], d2: f64, eps2: f64) {
+    let soft = d2 + eps2;
+    let inv = 1.0 / (soft * soft.sqrt());
+    for d in 0..3 {
+        acc[d] += m * dx[d] * inv;
+    }
+}
+
+/// Direct O(N²) reference summation (tests and accuracy checks).
+pub fn force_direct(
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    body: usize,
+    eps2: f64,
+) -> [f64; 3] {
+    let mut acc = [0.0f64; 3];
+    let p = pos[body];
+    for b in 0..pos.len() {
+        if b == body {
+            continue;
+        }
+        let dx = [pos[b][0] - p[0], pos[b][1] - p[1], pos[b][2] - p[2]];
+        let d2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+        add_kick(&mut acc, mass[b], &dx, d2, eps2);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barnes_hut::plummer::plummer_model;
+
+    fn sample(n: usize) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let bodies = plummer_model(n, 42);
+        let pos: Vec<[f64; 3]> = bodies.iter().map(|b| b.pos).collect();
+        let mass: Vec<f64> = bodies.iter().map(|b| b.mass).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn all_bodies_are_in_the_tree_exactly_once() {
+        let (pos, mass) = sample(500);
+        let t = Octree::build(&pos, &mass);
+        let mut order = t.morton_order();
+        assert_eq!(order.len(), 500);
+        order.sort_unstable();
+        for (i, b) in order.iter().enumerate() {
+            assert_eq!(*b as usize, i);
+        }
+    }
+
+    #[test]
+    fn root_mass_and_com_match_totals() {
+        let (pos, mass) = sample(300);
+        let t = Octree::build(&pos, &mass);
+        let total: f64 = mass.iter().sum();
+        assert!((t.cells[0].mass - total).abs() < 1e-9 * total);
+        for d in 0..3 {
+            let expect: f64 =
+                pos.iter().zip(&mass).map(|(p, m)| p[d] * m).sum::<f64>() / total;
+            assert!((t.cells[0].com[d] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bodies_live_inside_their_cells() {
+        let (pos, mass) = sample(200);
+        let t = Octree::build(&pos, &mass);
+        for (ci, c) in t.cells.iter().enumerate() {
+            for k in 0..8 {
+                if let Child::Body(b) = decode_child(c.children[k], t.n_bodies) {
+                    for d in 0..3 {
+                        assert!(
+                            (pos[b][d] - c.center[d]).abs() <= c.half * 1.001,
+                            "body {b} outside cell {ci} on axis {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_theta_approaches_direct_summation() {
+        let (pos, mass) = sample(150);
+        let t = Octree::build(&pos, &mass);
+        let eps2 = 1e-4;
+        for body in [0usize, 17, 149] {
+            let (approx, _) = force_on(&t.cells, t.n_bodies, &pos, &mass, body, 0.1, eps2);
+            let exact = force_direct(&pos, &mass, body, eps2);
+            let mag: f64 = exact.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for d in 0..3 {
+                assert!(
+                    (approx[d] - exact[d]).abs() < 0.02 * mag + 1e-9,
+                    "body {body} axis {d}: {} vs {}",
+                    approx[d],
+                    exact[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_theta_does_less_work() {
+        let (pos, mass) = sample(400);
+        let t = Octree::build(&pos, &mass);
+        let w = |theta: f64| {
+            (0..40)
+                .map(|b| force_on(&t.cells, t.n_bodies, &pos, &mass, b, theta, 1e-4).1)
+                .sum::<u64>()
+        };
+        let tight = w(0.2);
+        let loose = w(1.0);
+        assert!(loose < tight, "θ=1.0 must evaluate fewer interactions: {loose} vs {tight}");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (pos, mass) = sample(256);
+        let a = Octree::build(&pos, &mass);
+        let b = Octree::build(&pos, &mass);
+        assert_eq!(a.cells.len(), b.cells.len());
+        assert_eq!(a.morton_order(), b.morton_order());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn cell_pod_roundtrip() {
+        let c = Cell {
+            children: [1, 2, 3, 4, 5, 6, 7, 8],
+            com: [0.1, 0.2, 0.3],
+            mass: 4.5,
+            center: [-1.0, 2.0, -3.0],
+            half: 0.75,
+        };
+        let mut buf = vec![0u8; Cell::SIZE];
+        c.write_to(&mut buf);
+        assert_eq!(Cell::read_from(&buf), c);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let t = Octree::build(&[], &[]);
+        assert!(t.morton_order().is_empty());
+        let t1 = Octree::build(&[[1.0, 2.0, 3.0]], &[5.0]);
+        assert_eq!(t1.morton_order(), vec![0]);
+        assert_eq!(t1.cells[0].mass, 5.0);
+        let (acc, inter) = force_on(&t1.cells, 1, &[[1.0, 2.0, 3.0]], &[5.0], 0, 0.7, 1e-4);
+        assert_eq!(acc, [0.0; 3]);
+        assert_eq!(inter, 0);
+    }
+
+    #[test]
+    fn two_coincidentish_bodies_split_deeply_but_terminate() {
+        let pos = vec![[0.0, 0.0, 0.0], [1e-9, 1e-9, 1e-9], [1.0, 1.0, 1.0]];
+        let mass = vec![1.0, 1.0, 1.0];
+        let t = Octree::build(&pos, &mass);
+        assert_eq!(t.morton_order().len(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! # repseq-apps — the paper's evaluation applications
+//!
+//! The two pointer-based applications of the PPoPP'01 evaluation, built on
+//! the Team runtime so a single [`SeqMode`](repseq_core::SeqMode) switch
+//! selects the Original, Optimized (replicated sequential execution) or
+//! Broadcast-ablation system:
+//!
+//! * [`barnes_hut`] — SPLASH-2-style Barnes-Hut N-body simulation with a
+//!   sequential octree build and Morton-ordered, work-weighted particle
+//!   partitioning (§6.1);
+//! * [`ilink`] — a synthetic genetic-linkage workload with parallel Ilink's
+//!   structure: a master-reinitialized genarray bank, cyclic parallel
+//!   updates guarded by an `if` clause, and master-side reduction (§6.2);
+//! * [`kernels`] — a distilled contention microkernel for demos and
+//!   ablations.
+
+pub mod barnes_hut;
+pub mod ilink;
+pub mod kernels;

@@ -1,0 +1,156 @@
+//! End-to-end application tests: both evaluation applications compute
+//! identical results under the Original, Optimized and Broadcast systems,
+//! and the traffic shapes move the way the paper reports.
+
+use repseq_apps::barnes_hut::{BarnesHut, BhConfig, BhResult};
+use repseq_apps::ilink::{Ilink, IlinkConfig, IlinkResult};
+use repseq_apps::kernels::{ContentionKernel, KernelConfig};
+use repseq_core::{RunConfig, Runtime, SeqMode};
+use repseq_dsm::ClusterConfig;
+use repseq_stats::StatsSnapshot;
+
+fn run_bh(mode: SeqMode, n: usize, cfg: BhConfig) -> (BhResult, StatsSnapshot) {
+    let mut rt = Runtime::new(RunConfig { cluster: ClusterConfig::paper(n), seq_mode: mode });
+    let app = BarnesHut::setup(&mut rt, cfg);
+    let stats = rt.stats();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let out2 = std::sync::Arc::clone(&out);
+    rt.run(move |team| {
+        let r = app.run(team)?;
+        *out2.lock() = Some(r);
+        Ok(())
+    })
+    .expect("barnes-hut run failed");
+    let r = out.lock().take().unwrap();
+    (r, stats.snapshot())
+}
+
+fn run_ilink(mode: SeqMode, n: usize, cfg: IlinkConfig) -> (IlinkResult, StatsSnapshot) {
+    let mut rt = Runtime::new(RunConfig { cluster: ClusterConfig::paper(n), seq_mode: mode });
+    let app = Ilink::setup(&mut rt, cfg);
+    let stats = rt.stats();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let out2 = std::sync::Arc::clone(&out);
+    rt.run(move |team| {
+        let r = app.run(team)?;
+        *out2.lock() = Some(r);
+        Ok(())
+    })
+    .expect("ilink run failed");
+    let r = out.lock().take().unwrap();
+    (r, stats.snapshot())
+}
+
+#[test]
+fn barnes_hut_modes_agree_and_traffic_shifts() {
+    let cfg = BhConfig::tiny();
+    let (orig, s_orig) = run_bh(SeqMode::MasterOnly, 4, cfg.clone());
+    let (opt, s_opt) = run_bh(SeqMode::Replicated, 4, cfg.clone());
+    let (bc, s_bc) = run_bh(SeqMode::MasterOnlyBroadcast, 4, cfg);
+    assert_eq!(orig, opt, "replication must not change the physics");
+    assert_eq!(orig, bc, "broadcast must not change the physics");
+    assert!(orig.interactions > 0);
+
+    // Traffic shapes (Table 2, scaled): parallel diff data collapses under
+    // replication; the sequential sections get more expensive.
+    assert!(
+        s_opt.par_agg().diff_bytes * 2 < s_orig.par_agg().diff_bytes,
+        "parallel diff data: {} (opt) vs {} (orig)",
+        s_opt.par_agg().diff_bytes,
+        s_orig.par_agg().diff_bytes
+    );
+    assert!(s_opt.seq_time() > s_orig.seq_time());
+    // The multicast machinery must have run (at this tiny scale every node
+    // wrote every particle page, so every chain turn carries diffs and no
+    // null acks appear — they do at bench scale).
+    assert!(s_opt.seq_agg().forwarded_requests > 0, "flow control must run");
+    // The broadcast ablation lands between the two on parallel traffic.
+    assert!(s_bc.par_agg().diff_bytes < s_orig.par_agg().diff_bytes);
+}
+
+#[test]
+fn barnes_hut_physics_is_node_count_independent() {
+    let cfg = BhConfig::tiny();
+    let (r1, _) = run_bh(SeqMode::MasterOnly, 1, cfg.clone());
+    let (r4, _) = run_bh(SeqMode::Replicated, 4, cfg.clone());
+    let (r3, _) = run_bh(SeqMode::MasterOnly, 3, cfg);
+    assert_eq!(r1, r4, "1-node and 4-node runs must agree bit-for-bit");
+    assert_eq!(r1, r3);
+}
+
+#[test]
+fn barnes_hut_positions_actually_move() {
+    let cfg = BhConfig::tiny();
+    let (r, _) = run_bh(SeqMode::Replicated, 2, cfg.clone());
+    // Compare against the checksum of the untouched initial conditions.
+    let bodies = repseq_apps::barnes_hut::plummer::plummer_model(cfg.n_bodies, cfg.seed);
+    let mut initial = 0.0f64;
+    for b in &bodies {
+        for d in 0..3 {
+            initial += b.pos[d] * (1.0 + d as f64) + b.vel[d] * 0.25;
+        }
+    }
+    assert!((r.checksum - initial).abs() > 1e-9, "the system must evolve");
+}
+
+#[test]
+fn ilink_modes_agree_and_optimized_wins() {
+    let cfg = IlinkConfig::tiny();
+    let (orig, s_orig) = run_ilink(SeqMode::MasterOnly, 4, cfg.clone());
+    let (opt, s_opt) = run_ilink(SeqMode::Replicated, 4, cfg);
+    assert_eq!(orig, opt, "likelihood must be identical across modes");
+    assert!(orig.parallel_updates > 0, "the if clause must trigger parallel updates");
+    assert!(orig.sequential_updates > 0, "and sequential ones");
+    assert!(orig.likelihood.is_finite() && orig.likelihood != 0.0);
+
+    // Table 4's shape, scaled: parallel-section diff traffic collapses
+    // (the paper reports −87% messages, −97% data).
+    assert!(
+        s_opt.par_agg().diff_bytes * 2 < s_orig.par_agg().diff_bytes,
+        "parallel diff data: {} (opt) vs {} (orig)",
+        s_opt.par_agg().diff_bytes,
+        s_orig.par_agg().diff_bytes
+    );
+    // Parallel time collapses. (The *total*-time win needs enough scale to
+    // amortize the per-section valid-notice exchange — the bench harness
+    // asserts it at table scale; at this test's tiny scale the fixed
+    // overheads dominate, exactly the trade-off §5.4.3 discusses.)
+    assert!(
+        s_opt.par_time() < s_orig.par_time(),
+        "optimized parallel sections must be faster: {} vs {}",
+        s_opt.par_time(),
+        s_orig.par_time()
+    );
+}
+
+#[test]
+fn contention_kernel_modes_agree() {
+    let run = |mode| {
+        let mut rt =
+            Runtime::new(RunConfig { cluster: ClusterConfig::paper(4), seq_mode: mode });
+        let k = ContentionKernel::setup(&mut rt, KernelConfig::default());
+        let stats = rt.stats();
+        let out = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let out2 = std::sync::Arc::clone(&out);
+        rt.run(move |team| {
+            let c = k.run(team)?;
+            *out2.lock() = c;
+            Ok(())
+        })
+        .unwrap();
+        let c = *out.lock();
+        (c, stats.snapshot())
+    };
+    let (c_orig, s_orig) = run(SeqMode::MasterOnly);
+    let (c_opt, s_opt) = run(SeqMode::Replicated);
+    assert_eq!(c_orig, c_opt);
+    // The replicated kernel's parallel phase fetches nothing for the data
+    // block; only the tiny false-shared per-node sums page still moves.
+    assert!(
+        s_opt.par_agg().diff_bytes * 10 < s_orig.par_agg().diff_bytes,
+        "kernel data reads must be fully local: {} vs {}",
+        s_opt.par_agg().diff_bytes,
+        s_orig.par_agg().diff_bytes
+    );
+    assert!(s_orig.par_agg().diff_requests > 0);
+}

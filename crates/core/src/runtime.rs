@@ -1,0 +1,125 @@
+//! Runtime construction: allocate, preload, then run a master program with
+//! parked slaves — the OpenMP/NOW process model (§2.2.1: "Initially, the
+//! master thread executes the program while the slave threads are blocked
+//! inside the runtime system waiting for the master to issue a Tmk_fork").
+
+use std::sync::Arc;
+
+use repseq_dsm::{Cluster, ClusterConfig, DsmNode, Pod, ShArray, ShVar};
+use repseq_sim::{SimError, SimReport, Stopped};
+use repseq_stats::{Stats, StatsRef};
+
+use crate::team::{SeqMode, Team};
+
+/// Configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Cluster shape (nodes, network, DSM costs).
+    pub cluster: ClusterConfig,
+    /// How sequential sections execute.
+    pub seq_mode: SeqMode,
+}
+
+impl RunConfig {
+    /// The paper's testbed with the base (Original) system.
+    pub fn original(n: usize) -> Self {
+        RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::MasterOnly }
+    }
+
+    /// The paper's testbed with replicated sequential execution (Optimized).
+    pub fn optimized(n: usize) -> Self {
+        RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::Replicated }
+    }
+
+    /// The §6.1.2 ablation: original system plus hand-inserted broadcasts.
+    pub fn broadcast(n: usize) -> Self {
+        RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::MasterOnlyBroadcast }
+    }
+}
+
+/// A run under construction: allocate and preload shared data, then
+/// [`Runtime::run`] the master program.
+pub struct Runtime {
+    cluster: Cluster,
+    mode: SeqMode,
+    stats: StatsRef,
+}
+
+impl Runtime {
+    /// Build a runtime (and a fresh statistics registry).
+    pub fn new(cfg: RunConfig) -> Runtime {
+        let stats = Stats::new(cfg.cluster.nodes);
+        Runtime::with_stats(cfg, stats)
+    }
+
+    /// Build a runtime reporting into an existing registry.
+    pub fn with_stats(cfg: RunConfig, stats: StatsRef) -> Runtime {
+        Runtime {
+            cluster: Cluster::new(cfg.cluster, Arc::clone(&stats)),
+            mode: cfg.seq_mode,
+            stats,
+        }
+    }
+
+    /// The statistics registry (snapshot it after the run for the tables).
+    pub fn stats(&self) -> StatsRef {
+        Arc::clone(&self.stats)
+    }
+
+    /// Allocate a shared array (8-byte aligned).
+    pub fn alloc_array<T: Pod>(&mut self, len: usize) -> ShArray<T> {
+        self.cluster.alloc_array(len)
+    }
+
+    /// Allocate a page-aligned shared array.
+    pub fn alloc_array_page_aligned<T: Pod>(&mut self, len: usize) -> ShArray<T> {
+        self.cluster.alloc_array_page_aligned(len)
+    }
+
+    /// Allocate a shared variable.
+    pub fn alloc_var<T: Pod>(&mut self) -> ShVar<T> {
+        self.cluster.alloc_var()
+    }
+
+    /// Preload initial array contents (present everywhere before the run).
+    pub fn preload<T: Pod>(&mut self, arr: ShArray<T>, vals: &[T]) {
+        self.cluster.preload(arr, vals);
+    }
+
+    /// Preload one element.
+    pub fn preload_at<T: Pod>(&mut self, arr: ShArray<T>, i: usize, v: T) {
+        self.cluster.preload_at(arr, i, v);
+    }
+
+    /// Preload a shared variable.
+    pub fn preload_var<T: Pod>(&mut self, var: ShVar<T>, v: T) {
+        self.cluster.preload_var(var, v);
+    }
+
+    /// The DSM page size (for page-span computations).
+    pub fn page_size(&self) -> usize {
+        self.cluster.config().dsm.page_size
+    }
+
+    /// Run `program` as the master; every other node parks in the slave
+    /// scheduler loop. Slaves are shut down automatically when the program
+    /// returns.
+    pub fn run<F>(self, program: F) -> Result<SimReport, SimError>
+    where
+        F: FnOnce(&Team) -> Result<(), Stopped> + Send + 'static,
+    {
+        let n = self.cluster.config().nodes;
+        let mode = self.mode;
+        let stats = Arc::clone(&self.stats);
+        let mut apps: Vec<repseq_dsm::AppFn> = Vec::new();
+        apps.push(Box::new(move |node: DsmNode| {
+            let team = Team::new(node, mode, stats);
+            program(&team)?;
+            team.node().shutdown_slaves()
+        }));
+        for _ in 1..n {
+            apps.push(Box::new(|node: DsmNode| node.slave_loop()));
+        }
+        self.cluster.launch(apps)
+    }
+}

@@ -1,0 +1,192 @@
+//! Cluster construction: allocate and preload the shared heap, then launch
+//! one application process and one protocol-handler process per node.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_net::{NetConfig, Network};
+use repseq_sim::{Sim, SimError, SimReport, Stopped};
+use repseq_stats::StatsRef;
+
+use crate::config::DsmConfig;
+use crate::handler::handler_main;
+use crate::interval::PageId;
+use crate::msg::DsmMsg;
+use crate::pod::Pod;
+use crate::runtime::{DsmNode, Topology};
+use crate::shmem::{ShArray, ShVar};
+use crate::state::NodeState;
+
+/// Everything needed to build a simulated DSM cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// DSM protocol parameters.
+    pub dsm: DsmConfig,
+    /// Interconnect parameters.
+    pub net: NetConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed shape for `n` nodes.
+    pub fn paper(n: usize) -> Self {
+        ClusterConfig { nodes: n, dsm: DsmConfig::default(), net: NetConfig::paper(n) }
+    }
+}
+
+/// One application process per node. Node 0 runs the master program.
+pub type AppFn = Box<dyn FnOnce(DsmNode) -> Result<(), Stopped> + Send + 'static>;
+
+/// A cluster under construction. Allocate shared arrays and preload their
+/// initial contents host-side (this models data present before the
+/// measured run, like TreadMarks' startup), then [`Cluster::launch`].
+pub struct Cluster {
+    cfg: ClusterConfig,
+    stats: StatsRef,
+    initial: HashMap<PageId, Vec<u8>>,
+    alloc_next: u64,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn new(cfg: ClusterConfig, stats: StatsRef) -> Cluster {
+        assert!(cfg.nodes >= 1);
+        assert_eq!(cfg.net.nodes, cfg.nodes, "network and cluster node counts must agree");
+        assert_eq!(stats.n_nodes(), cfg.nodes, "stats registry sized for a different cluster");
+        Cluster {
+            cfg,
+            stats,
+            initial: HashMap::new(),
+            // Address 0 is reserved so that a zero handle is recognizably
+            // uninitialized.
+            alloc_next: 64,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Allocate a shared array of `len` elements, 8-byte aligned.
+    pub fn alloc_array<T: Pod>(&mut self, len: usize) -> ShArray<T> {
+        self.alloc_array_aligned(len, 8)
+    }
+
+    /// Allocate a shared array starting on a page boundary (applications
+    /// use this to avoid false sharing on hot structures).
+    pub fn alloc_array_page_aligned<T: Pod>(&mut self, len: usize) -> ShArray<T> {
+        self.alloc_array_aligned(len, self.cfg.dsm.page_size as u64)
+    }
+
+    fn alloc_array_aligned<T: Pod>(&mut self, len: usize, align: u64) -> ShArray<T> {
+        let align = align.max(T::SIZE.min(8) as u64).max(1);
+        let base = self.alloc_next.div_ceil(align) * align;
+        let bytes = (T::SIZE * len) as u64;
+        self.alloc_next = base + bytes;
+        assert!(
+            self.alloc_next <= self.cfg.dsm.heap_bytes(),
+            "shared heap exhausted: {} > {} bytes (raise DsmConfig::heap_pages)",
+            self.alloc_next,
+            self.cfg.dsm.heap_bytes()
+        );
+        ShArray::new(base, len)
+    }
+
+    /// Allocate a single shared variable.
+    pub fn alloc_var<T: Pod>(&mut self) -> ShVar<T> {
+        ShVar::from_array(self.alloc_array::<T>(1))
+    }
+
+    /// Preload an array's initial contents (present on every node before
+    /// the run starts; not counted as communication).
+    pub fn preload<T: Pod>(&mut self, arr: ShArray<T>, vals: &[T]) {
+        assert!(vals.len() <= arr.len());
+        let mut buf = vec![0u8; T::SIZE];
+        for (i, v) in vals.iter().enumerate() {
+            v.write_to(&mut buf);
+            self.preload_bytes(arr.addr(i), &buf);
+        }
+    }
+
+    /// Preload one element.
+    pub fn preload_at<T: Pod>(&mut self, arr: ShArray<T>, i: usize, v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_to(&mut buf);
+        self.preload_bytes(arr.addr(i), &buf);
+    }
+
+    /// Preload a shared variable.
+    pub fn preload_var<T: Pod>(&mut self, var: ShVar<T>, v: T) {
+        self.preload_at(var.as_array(), 0, v);
+    }
+
+    fn preload_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let ps = self.cfg.dsm.page_size;
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr + off as u64;
+            let p = (a / ps as u64) as PageId;
+            let in_page = (a % ps as u64) as usize;
+            let chunk = (ps - in_page).min(bytes.len() - off);
+            let page = self.initial.entry(p).or_insert_with(|| vec![0u8; ps]);
+            page[in_page..in_page + chunk].copy_from_slice(&bytes[off..off + chunk]);
+            off += chunk;
+        }
+    }
+
+    /// Launch the cluster: one handler daemon and one application process
+    /// per node (`apps[0]` is the master program), and run the simulation
+    /// to completion.
+    pub fn launch(self, apps: Vec<AppFn>) -> Result<SimReport, SimError> {
+        let n = self.cfg.nodes;
+        assert_eq!(apps.len(), n, "need exactly one application per node");
+        let net = Network::new(self.cfg.net.clone(), Arc::clone(&self.stats));
+        let initial: Arc<HashMap<PageId, Arc<[u8]>>> = Arc::new(
+            self.initial.into_iter().map(|(p, v)| (p, Arc::<[u8]>::from(v))).collect(),
+        );
+        let states: Vec<Arc<Mutex<NodeState>>> = (0..n)
+            .map(|i| {
+                Arc::new(Mutex::new(NodeState::new(
+                    i,
+                    n,
+                    self.cfg.dsm.clone(),
+                    Arc::clone(&initial),
+                )))
+            })
+            .collect();
+        let topo = Arc::new(Topology {
+            n,
+            app_pids: (n..2 * n).collect(),
+            handler_pids: (0..n).collect(),
+            stats: Arc::clone(&self.stats),
+        });
+
+        let mut sim = Sim::<DsmMsg>::new();
+        // Handlers first: pids 0..n-1.
+        for (i, state) in states.iter().enumerate() {
+            let nic = net.nic(i);
+            let st = Arc::clone(state);
+            let topo2 = Arc::clone(&topo);
+            let pid = sim.spawn_daemon(&format!("handler{i}"), move |ctx| {
+                handler_main(ctx, nic, st, topo2)
+            });
+            assert_eq!(pid, topo.handler_pids[i]);
+        }
+        // Applications: pids n..2n-1.
+        for (i, app) in apps.into_iter().enumerate() {
+            let nic = net.nic(i);
+            let st = Arc::clone(&states[i]);
+            let topo2 = Arc::clone(&topo);
+            let page_size = self.cfg.dsm.page_size;
+            let pid = sim.spawn(&format!("app{i}"), move |ctx| {
+                let node = DsmNode { ctx, nic, st, topo: topo2, page_size };
+                app(node)
+            });
+            assert_eq!(pid, topo.app_pids[i]);
+        }
+        sim.run()
+    }
+}

@@ -1,0 +1,220 @@
+//! Diffs: run-length encodings of the modifications a node made to a page,
+//! computed by comparing the page against its *twin* (the copy saved at the
+//! first write). The multiple-writer protocol merges concurrent writers by
+//! exchanging and applying diffs instead of whole pages (§2.2.2).
+
+/// One run of modified bytes within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset within the page.
+    pub offset: u32,
+    /// The new bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The modifications made to one page, as a sorted list of
+/// non-overlapping, non-adjacent runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compute the diff of `page` against its `twin`. Runs are maximal
+    /// spans of differing bytes; adjacent differing bytes coalesce into one
+    /// run.
+    pub fn create(twin: &[u8], page: &[u8]) -> Diff {
+        assert_eq!(twin.len(), page.len(), "twin and page must be the same size");
+        let mut runs = Vec::new();
+        let mut i = 0;
+        let n = page.len();
+        while i < n {
+            if twin[i] != page[i] {
+                let start = i;
+                while i < n && twin[i] != page[i] {
+                    i += 1;
+                }
+                runs.push(DiffRun { offset: start as u32, bytes: page[start..i].to_vec() });
+            } else {
+                i += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Apply the diff to a page copy. Idempotent (runs carry absolute
+    /// values), so receiving the same diff twice — which the multicast
+    /// recovery path can cause — is harmless.
+    pub fn apply(&self, page: &mut [u8]) {
+        for run in &self.runs {
+            let start = run.offset as usize;
+            let end = start + run.bytes.len();
+            assert!(end <= page.len(), "diff run outside page");
+            page[start..end].copy_from_slice(&run.bytes);
+        }
+    }
+
+    /// True if the diff carries no modifications.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total modified bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.runs.iter().map(|r| r.bytes.len() as u64).sum()
+    }
+
+    /// Approximate wire size: 8 bytes of header per run plus the payload
+    /// (offset + length words, as TreadMarks encodes diffs).
+    pub fn wire_size(&self) -> u64 {
+        8 + self.runs.iter().map(|r| 8 + r.bytes.len() as u64).sum::<u64>()
+    }
+
+    /// The runs, for inspection.
+    pub fn runs(&self) -> &[DiffRun] {
+        &self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_of(n: usize, f: impl Fn(usize) -> u8) -> Vec<u8> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn identical_pages_give_empty_diff() {
+        let twin = page_of(128, |i| i as u8);
+        let d = Diff::create(&twin, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_byte_change() {
+        let twin = vec![0u8; 64];
+        let mut page = twin.clone();
+        page[17] = 9;
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.runs()[0].offset, 17);
+        assert_eq!(d.runs()[0].bytes, vec![9]);
+        let mut fresh = twin.clone();
+        d.apply(&mut fresh);
+        assert_eq!(fresh, page);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce() {
+        let twin = vec![0u8; 64];
+        let mut page = twin.clone();
+        page[10..20].fill(1);
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 10);
+    }
+
+    #[test]
+    fn disjoint_changes_make_separate_runs() {
+        let twin = vec![0u8; 64];
+        let mut page = twin.clone();
+        page[0] = 1;
+        page[5] = 2;
+        page[63] = 3;
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.run_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_disjoint_diffs_merge() {
+        // The multiple-writer protocol: two nodes modify different parts of
+        // the same page; applying both diffs to a third copy merges them.
+        let base = vec![0u8; 256];
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a[..32].copy_from_slice(&[1; 32]);
+        b[200..220].copy_from_slice(&[2; 20]);
+        let da = Diff::create(&base, &a);
+        let db = Diff::create(&base, &b);
+        let mut merged = base.clone();
+        da.apply(&mut merged);
+        db.apply(&mut merged);
+        assert_eq!(&merged[..32], &[1; 32]);
+        assert_eq!(&merged[200..220], &[2; 20]);
+        assert!(merged[32..200].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let twin = page_of(128, |i| (i * 7) as u8);
+        let mut page = twin.clone();
+        page[3] = 0;
+        page[90] = 0;
+        let d = Diff::create(&twin, &page);
+        let mut copy = twin.clone();
+        d.apply(&mut copy);
+        d.apply(&mut copy);
+        assert_eq!(copy, page);
+    }
+
+    #[test]
+    fn wire_size_reflects_runs_and_payload() {
+        let twin = vec![0u8; 64];
+        let mut page = twin.clone();
+        page[1] = 1;
+        page[40] = 1;
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.wire_size(), 8 + 2 * (8 + 1));
+    }
+
+    proptest::proptest! {
+        /// create→apply reconstructs the modified page from the twin.
+        #[test]
+        fn prop_roundtrip(twin in proptest::collection::vec(0u8..4, 1..512),
+                          edits in proptest::collection::vec((0usize..512, 0u8..4), 0..64)) {
+            let mut page = twin.clone();
+            for (pos, val) in edits {
+                let pos = pos % page.len();
+                page[pos] = val;
+            }
+            let d = Diff::create(&twin, &page);
+            let mut rebuilt = twin.clone();
+            d.apply(&mut rebuilt);
+            proptest::prop_assert_eq!(rebuilt, page);
+        }
+
+        /// Runs are sorted, non-overlapping, non-adjacent, and cover exactly
+        /// the differing bytes.
+        #[test]
+        fn prop_runs_canonical(twin in proptest::collection::vec(0u8..4, 1..256),
+                               page in proptest::collection::vec(0u8..4, 1..256)) {
+            let n = twin.len().min(page.len());
+            let (twin, page) = (&twin[..n], &page[..n]);
+            let d = Diff::create(twin, page);
+            let mut prev_end: Option<usize> = None;
+            let mut covered = vec![false; n];
+            for run in d.runs() {
+                let start = run.offset as usize;
+                proptest::prop_assert!(!run.bytes.is_empty());
+                if let Some(pe) = prev_end {
+                    proptest::prop_assert!(start > pe, "runs must not touch");
+                }
+                for (k, &b) in run.bytes.iter().enumerate() {
+                    covered[start + k] = true;
+                    proptest::prop_assert_eq!(b, page[start + k]);
+                }
+                prev_end = Some(start + run.bytes.len());
+            }
+            for i in 0..n {
+                proptest::prop_assert_eq!(covered[i], twin[i] != page[i], "byte {} coverage", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The per-node protocol handler process.
+//!
+//! TreadMarks serves remote requests in a signal handler on the
+//! application processor; here each node runs a dedicated handler process
+//! that serves requests serially and shares the node's transmit link with
+//! the application — the two ingredients of the contention behaviour §3
+//! describes. The handler also implements the barrier manager (node 0),
+//! the lock managers, and the receive side of the replicated-section
+//! multicast protocol.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_net::Nic;
+use repseq_sim::{Ctx, Stopped};
+use repseq_stats::MsgClass;
+
+use crate::msg::DsmMsg;
+use crate::rse;
+use crate::runtime::Topology;
+use crate::state::{NodeState, PendingAcquire};
+
+pub(crate) fn handler_main(
+    ctx: Ctx<DsmMsg>,
+    nic: Nic,
+    st: Arc<Mutex<NodeState>>,
+    topo: Arc<Topology>,
+) -> Result<(), Stopped> {
+    let node = nic.node();
+    let n = topo.n;
+    loop {
+        // While a forwarded multicast request is in flight, the master
+        // handler arms a timeout so a lost frame cannot wedge the queue
+        // forever (the requester recovers independently, §5.4.2).
+        let env = {
+            let stall_guard = node == 0 && st.lock().mcast_inflight.is_some();
+            if stall_guard {
+                let t = st.lock().cfg.rse_timeout * 4;
+                match ctx.recv_timeout(t)? {
+                    Some(e) => e,
+                    None => {
+                        let next = {
+                            let mut s = st.lock();
+                            s.mcast_inflight = None;
+                            rse::master_try_start(&mut s)
+                        };
+                        if let Some(msg) = next {
+                            rse::multicast_to_handlers(
+                                &nic,
+                                &ctx,
+                                &topo,
+                                MsgClass::ForwardedRequest,
+                                msg,
+                            );
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                ctx.recv()?
+            }
+        };
+
+        match env.msg {
+            // ---- demand diff fetching ----
+            DsmMsg::DiffRequest { page, ivxs, reply_to, req_id } => {
+                let (service, cost, diffs) = {
+                    let mut s = st.lock();
+                    let service = s.cfg.service_overhead;
+                    let (cost, diffs) = s.serve_diff_request(page, &ivxs);
+                    (service, cost, diffs)
+                };
+                ctx.charge(service + cost);
+                let dst_node = node_of_app(&topo, reply_to);
+                let reply = DsmMsg::DiffReply { page, diffs, req_id };
+                let size = reply.wire_size();
+                nic.unicast(&ctx, dst_node, reply_to, MsgClass::DiffReply, size, reply);
+            }
+
+            // ---- barrier manager (node 0) ----
+            DsmMsg::BarrierArrive { from, vc, records, reply_to } => {
+                debug_assert_eq!(node, 0, "barrier arrivals go to the manager");
+                let departures = {
+                    let mut s = st.lock();
+                    ctx.charge(s.cfg.sync_overhead);
+                    let cost = s.apply_records(records, &vc);
+                    ctx.charge(cost);
+                    s.barrier_arrivals.push((from, vc, reply_to));
+                    if s.barrier_arrivals.len() == n {
+                        let arrivals = std::mem::take(&mut s.barrier_arrivals);
+                        let merged = s.vc.clone();
+                        Some(
+                            arrivals
+                                .into_iter()
+                                .map(|(q, vcq, pid)| {
+                                    let records = s.intervals.records_unknown_to(&vcq);
+                                    (q, pid, DsmMsg::BarrierDepart { records, vc: merged.clone() })
+                                })
+                                .collect::<Vec<_>>(),
+                        )
+                    } else {
+                        None
+                    }
+                };
+                if let Some(departures) = departures {
+                    for (q, pid, msg) in departures {
+                        let size = msg.wire_size();
+                        if q == 0 {
+                            nic.local(&ctx, pid, msg);
+                        } else {
+                            nic.unicast(&ctx, q, pid, MsgClass::Sync, size, msg);
+                        }
+                    }
+                }
+            }
+
+            // ---- lock manager / holder ----
+            DsmMsg::LockAcquire { lock, from, vc, reply_to, forwarded } => {
+                let manager = (lock as usize) % n == node;
+                let action = {
+                    let mut s = st.lock();
+                    ctx.charge(s.cfg.sync_overhead);
+                    if manager && !forwarded {
+                        // Lazy token initialization: an unseen lock's token
+                        // starts at its manager.
+                        let target = match s.lock_last.get(&lock) {
+                            Some(&t) => t,
+                            None => {
+                                s.lock_token.insert(lock);
+                                node
+                            }
+                        };
+                        s.lock_last.insert(lock, from);
+                        if target == node {
+                            holder_logic(&mut s, lock, from, &vc, reply_to)
+                        } else {
+                            LockAction::Forward(target)
+                        }
+                    } else {
+                        holder_logic(&mut s, lock, from, &vc, reply_to)
+                    }
+                };
+                match action {
+                    LockAction::Queued => {}
+                    LockAction::Forward(target) => {
+                        let msg =
+                            DsmMsg::LockAcquire { lock, from, vc, reply_to, forwarded: true };
+                        let size = msg.wire_size();
+                        nic.unicast(
+                            &ctx,
+                            target,
+                            topo.handler_pids[target],
+                            MsgClass::Lock,
+                            size,
+                            msg,
+                        );
+                    }
+                    LockAction::Grant { records, vc } => {
+                        let msg = DsmMsg::LockGrant { lock, records, vc };
+                        let size = msg.wire_size();
+                        let dst_node = node_of_app(&topo, reply_to);
+                        nic.unicast(&ctx, dst_node, reply_to, MsgClass::Lock, size, msg);
+                    }
+                }
+            }
+
+            // ---- replicated-section multicast protocol ----
+            DsmMsg::McastRequest { page, wanted, requester } => {
+                debug_assert_eq!(node, 0, "multicast requests are serialized at the master");
+                let fwd = {
+                    let mut s = st.lock();
+                    ctx.charge(s.cfg.service_overhead);
+                    rse::master_enqueue(&mut s, page, wanted, requester)
+                };
+                if let Some(msg) = fwd {
+                    rse::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::ForwardedRequest, msg);
+                }
+            }
+            DsmMsg::McastForward { page, wanted, requester, req_seq } => {
+                let turn = {
+                    let mut s = st.lock();
+                    ctx.charge(s.cfg.service_overhead);
+                    rse::on_forward(&mut s, page, wanted, requester, req_seq)
+                };
+                if let Some((msg, cost)) = turn {
+                    ctx.charge(cost);
+                    let class = match &msg {
+                        DsmMsg::McastNullAck { .. } => MsgClass::NullAck,
+                        _ => MsgClass::DiffReply,
+                    };
+                    rse::multicast_to_handlers(&nic, &ctx, &topo, class, msg);
+                }
+            }
+            DsmMsg::McastDiffReply { page, diffs, turn, req_seq } => {
+                handle_chain_step(&ctx, &nic, &st, &topo, Some((page, diffs)), turn, req_seq);
+            }
+            DsmMsg::McastNullAck { page: _, turn, req_seq } => {
+                handle_chain_step(&ctx, &nic, &st, &topo, None, turn, req_seq);
+            }
+            DsmMsg::RecoveryRequest { page, ivxs, requester: _, reply_mcast } => {
+                let (msg, cost) = {
+                    let mut s = st.lock();
+                    ctx.charge(s.cfg.service_overhead);
+                    let (cost, diffs) = s.serve_diff_request(page, &ivxs);
+                    (DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: rse::OOB_SEQ }, cost)
+                };
+                ctx.charge(cost);
+                debug_assert!(reply_mcast, "recovery replies are always multicast (§5.4.2)");
+                rse::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::DiffReply, msg);
+            }
+
+            // ---- hand-inserted broadcast (ablation) ----
+            DsmMsg::PageBroadcast { page, data, vc } => {
+                let mut s = st.lock();
+                ctx.charge(s.cfg.service_overhead);
+                let meta = s.page_mut(page);
+                if meta.twin.is_none() {
+                    // Safe to overwrite: we have no concurrent local writes.
+                    meta.data = Some(data.to_vec().into_boxed_slice());
+                    meta.valid = true;
+                    meta.valid_at.merge(&vc);
+                    s.valid_changed.insert(page);
+                }
+            }
+
+            DsmMsg::ValidNoticeTable { deltas } => {
+                let mut s = st.lock();
+                ctx.charge(s.cfg.sync_overhead);
+                s.merge_valid_deltas(&deltas);
+            }
+
+            DsmMsg::WakePage { .. } => { /* stale local wakeup */ }
+            other => panic!("handler {node}: unexpected {}", other.kind()),
+        }
+    }
+}
+
+enum LockAction {
+    Queued,
+    Forward(usize),
+    Grant { records: Vec<crate::interval::IntervalRecord>, vc: crate::vc::Vc },
+}
+
+/// Lock logic at the node believed to hold the token.
+fn holder_logic(
+    s: &mut NodeState,
+    lock: u32,
+    from: usize,
+    vc: &crate::vc::Vc,
+    reply_to: repseq_sim::Pid,
+) -> LockAction {
+    if s.lock_token.contains(&lock) && !s.lock_held.contains(&lock) {
+        s.lock_token.remove(&lock);
+        let records = s.intervals.records_unknown_to(vc);
+        LockAction::Grant { records, vc: s.vc.clone() }
+    } else {
+        // Held by the local application, or the token is still in flight
+        // to us: queue; the release path grants.
+        s.lock_pending
+            .entry(lock)
+            .or_default()
+            .push_back(PendingAcquire { from, vc: vc.clone(), reply_to });
+        LockAction::Queued
+    }
+}
+
+/// Shared handling for both chain step messages (diff replies and null
+/// acks): incorporate diffs, advance the chain, take our own turn, and at
+/// the master start the next queued request when a chain completes.
+fn handle_chain_step(
+    ctx: &Ctx<DsmMsg>,
+    nic: &Nic,
+    st: &Arc<Mutex<NodeState>>,
+    topo: &Arc<Topology>,
+    diffs: Option<(crate::interval::PageId, Vec<crate::page::DiffEntry>)>,
+    turn: usize,
+    req_seq: u64,
+) {
+    let node = nic.node();
+    let mut to_multicast: Option<(DsmMsg, MsgClass)> = None;
+    let mut wake: Option<crate::interval::PageId> = None;
+    {
+        let mut s = st.lock();
+        ctx.charge(s.cfg.service_overhead);
+        if let Some((page, diffs)) = &diffs {
+            let (cost, w) = rse::incorporate_diffs(&mut s, *page, diffs);
+            ctx.charge(cost);
+            wake = w;
+        }
+        if req_seq != rse::OOB_SEQ {
+            let done = rse::advance_chain(&mut s, req_seq, turn);
+            if done {
+                if node == 0 {
+                    s.mcast_inflight = None;
+                    if let Some(msg) = rse::master_try_start(&mut s) {
+                        to_multicast = Some((msg, MsgClass::ForwardedRequest));
+                    }
+                }
+            } else if let Some((msg, cost)) = rse::take_turn(&mut s, req_seq) {
+                ctx.charge(cost);
+                let class = match &msg {
+                    DsmMsg::McastNullAck { .. } => MsgClass::NullAck,
+                    _ => MsgClass::DiffReply,
+                };
+                to_multicast = Some((msg, class));
+            }
+        } else if wake.is_none() {
+            // Out-of-band recovery reply: even if our copy was not
+            // completed, a waiting application should re-check (it may now
+            // recover more).
+        }
+    }
+    if let Some(page) = wake {
+        nic.local(ctx, topo.app_pids[node], DsmMsg::WakePage { page });
+    }
+    if let Some((msg, class)) = to_multicast {
+        rse::multicast_to_handlers(nic, ctx, topo, class, msg);
+    }
+}
+
+fn node_of_app(topo: &Topology, pid: repseq_sim::Pid) -> usize {
+    topo.app_pids
+        .iter()
+        .position(|&p| p == pid)
+        .expect("reply target is not an application process")
+}

@@ -1,0 +1,43 @@
+//! # repseq-dsm — TreadMarks-style software DSM with replicated sequential
+//! execution
+//!
+//! The substrate and the contribution of the PPoPP'01 paper, in one crate:
+//!
+//! * a multiple-writer, lazy-invalidate release-consistent DSM (vector
+//!   timestamps, intervals, write notices, twins, lazy diffs) — §2.2/§5.1
+//!   of the paper;
+//! * fork/join, barriers and locks in the TreadMarks style;
+//! * **replicated sequential execution**: valid notices, requester
+//!   election, the master-serialized multicast diff protocol with its
+//!   ack-chain flow control, and the dirty-page write-protection that keeps
+//!   lazy diff creation from leaking replicated writes — §5.2–§5.4.
+//!
+//! Applications access shared memory through typed handles backed by a
+//! software page table (see `DESIGN.md` for why this substitutes for
+//! `mprotect`/`SIGSEGV`).
+
+mod cluster;
+mod config;
+mod diff;
+mod handler;
+mod interval;
+mod msg;
+mod page;
+mod pod;
+mod runtime;
+mod rse;
+mod shmem;
+mod state;
+mod vc;
+
+pub use cluster::{AppFn, Cluster, ClusterConfig};
+pub use config::{DsmConfig, FlowControl};
+pub use diff::{Diff, DiffRun};
+pub use interval::{IntervalRecord, IntervalStore, PageId};
+pub use msg::{DsmMsg, TaskPayload};
+pub use page::PageMeta;
+pub use pod::Pod;
+pub use runtime::{DsmNode, ParkEvent, Task, TaskFn};
+pub use shmem::{ShArray, ShVar};
+pub use state::NodeState;
+pub use vc::Vc;

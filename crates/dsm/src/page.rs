@@ -1,0 +1,171 @@
+//! Per-node page state: the software analogue of the VM page table plus
+//! the TreadMarks bookkeeping (twin, write notices, valid timestamp).
+
+use std::sync::Arc;
+
+use repseq_stats::NodeId;
+
+use crate::diff::Diff;
+use crate::vc::Vc;
+
+/// One node's view of one shared page.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// Page contents. `None` means the page still holds its initial image
+    /// (materialized lazily on first write or diff application).
+    pub data: Option<Box<[u8]>>,
+    /// The twin saved at the first write since the page was last diffed.
+    pub twin: Option<Box<[u8]>>,
+    /// Software write permission: a write to a non-writable page traps.
+    pub writable: bool,
+    /// Software validity: a read of an invalid page traps.
+    pub valid: bool,
+    /// The *valid notice* (§5.4.1): this node's vector time when the page
+    /// was last brought fully up to date. A write notice `(owner, ivx)` is
+    /// incorporated in the local copy iff `valid_at.covers(owner, ivx)`.
+    pub valid_at: Vc,
+    /// Every write notice known for this page, own and remote.
+    pub notices: Vec<(NodeId, u32)>,
+    /// Own closed intervals that have write notices for this page but no
+    /// diff yet (lazy diff creation). The eventual diff against the twin
+    /// covers all of them.
+    pub own_undiffed: Vec<u32>,
+    /// Written during the current (open) interval.
+    pub written_cur: bool,
+    /// Written during the current replicated sequential section; such
+    /// writes produce no write notices and no diffs (§5.3).
+    pub rse_dirty: bool,
+    /// Dirty page write-protected at replicated-section entry (§5.3): the
+    /// first write inside the section must create the pre-section diff
+    /// before the page may change.
+    pub rse_protected: bool,
+}
+
+impl PageMeta {
+    /// A fresh page view: valid, read-only, holding the initial image.
+    pub fn new(n_nodes: usize) -> PageMeta {
+        PageMeta {
+            data: None,
+            twin: None,
+            writable: false,
+            valid: true,
+            valid_at: Vc::zero(n_nodes),
+            notices: Vec::new(),
+            own_undiffed: Vec::new(),
+            written_cur: false,
+            rse_dirty: false,
+            rse_protected: false,
+        }
+    }
+
+    /// Materialize the page contents, starting from `initial` (or zeros).
+    pub fn materialize(&mut self, page_size: usize, initial: Option<&Arc<[u8]>>) -> &mut [u8] {
+        if self.data.is_none() {
+            let buf = match initial {
+                Some(img) => {
+                    debug_assert_eq!(img.len(), page_size);
+                    img.to_vec().into_boxed_slice()
+                }
+                None => vec![0u8; page_size].into_boxed_slice(),
+            };
+            self.data = Some(buf);
+        }
+        self.data.as_mut().unwrap()
+    }
+
+    /// Write notices not yet incorporated in the local copy: the fetch set
+    /// of a page fault.
+    pub fn missing_notices(&self) -> Vec<(NodeId, u32)> {
+        self.notices
+            .iter()
+            .copied()
+            .filter(|&(owner, ivx)| !self.valid_at.covers(owner, ivx))
+            .collect()
+    }
+
+    /// Would a node whose valid notice for this page is `valid_at` fault,
+    /// given this page's notices? (Used for requester election, §5.4.1 —
+    /// every node evaluates this with every other node's exchanged valid
+    /// notice.)
+    pub fn faults_with(&self, valid_at: &Vc) -> bool {
+        self.notices.iter().any(|&(owner, ivx)| !valid_at.covers(owner, ivx))
+    }
+
+    /// The notices a node with valid notice `valid_at` is missing.
+    pub fn missing_with(&self, valid_at: &Vc) -> Vec<(NodeId, u32)> {
+        self.notices
+            .iter()
+            .copied()
+            .filter(|&(owner, ivx)| !valid_at.covers(owner, ivx))
+            .collect()
+    }
+}
+
+/// A diff as shipped and cached: the owner, *every* interval of the owner
+/// the diff covers, and the data. With lazy diff creation one diff can
+/// cover several intervals of its writer (the page stayed twinned across
+/// interval closes); shipping the full coverage lets the receiver record
+/// exactly how far its copy now reaches — re-fetching the same bytes under
+/// a different interval tag (which could clobber newer local writes) is
+/// thereby impossible.
+#[derive(Debug)]
+pub struct DiffRecord {
+    pub owner: NodeId,
+    /// Ascending interval indices of `owner` whose write notices this diff
+    /// satisfies.
+    pub covers: Vec<u32>,
+    pub diff: Diff,
+}
+
+impl DiffRecord {
+    /// Highest covered interval.
+    pub fn max_ivx(&self) -> u32 {
+        *self.covers.last().expect("a diff covers at least one interval")
+    }
+}
+
+/// Shared handle to a cached diff.
+pub type DiffEntry = Arc<DiffRecord>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_valid_readonly_zero() {
+        let mut p = PageMeta::new(2);
+        assert!(p.valid && !p.writable);
+        let data = p.materialize(64, None);
+        assert!(data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn materialize_uses_initial_image() {
+        let img: Arc<[u8]> = vec![7u8; 16].into();
+        let mut p = PageMeta::new(2);
+        let data = p.materialize(16, Some(&img));
+        assert!(data.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn missing_notices_respects_valid_at() {
+        let mut p = PageMeta::new(3);
+        p.notices = vec![(0, 1), (0, 2), (1, 1)];
+        p.valid_at.set(0, 1);
+        assert_eq!(p.missing_notices(), vec![(0, 2), (1, 1)]);
+        p.valid_at.set(0, 2);
+        p.valid_at.set(1, 1);
+        assert!(p.missing_notices().is_empty());
+    }
+
+    #[test]
+    fn faults_with_models_other_nodes() {
+        let mut p = PageMeta::new(2);
+        p.notices = vec![(0, 3)];
+        let mut fresh = Vc::zero(2);
+        assert!(p.faults_with(&fresh));
+        fresh.set(0, 3);
+        assert!(!p.faults_with(&fresh));
+        assert_eq!(p.missing_with(&Vc::zero(2)), vec![(0, 3)]);
+    }
+}

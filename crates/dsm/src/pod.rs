@@ -1,0 +1,159 @@
+//! Plain-old-data encoding for typed access to the paged shared heap.
+//!
+//! The real system detects shared accesses with VM page protection; here
+//! applications go through typed handles instead (see `DESIGN.md`), so
+//! every shared type must say how it lays out in page bytes. All encodings
+//! are little-endian and fixed-size; no `unsafe` is involved.
+
+/// A fixed-size value that can live in DSM pages.
+pub trait Pod: Copy + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Decode from exactly `SIZE` bytes.
+    fn read_from(b: &[u8]) -> Self;
+
+    /// Encode into exactly `SIZE` bytes.
+    fn write_to(self, b: &mut [u8]);
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn read_from(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b[..Self::SIZE].try_into().unwrap())
+            }
+            #[inline]
+            fn write_to(self, b: &mut [u8]) {
+                b[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl<T: Pod, const N: usize> Pod for [T; N] {
+    const SIZE: usize = T::SIZE * N;
+
+    #[inline]
+    fn read_from(b: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_from(&b[i * T::SIZE..]))
+    }
+
+    #[inline]
+    fn write_to(self, b: &mut [u8]) {
+        for (i, v) in self.into_iter().enumerate() {
+            v.write_to(&mut b[i * T::SIZE..]);
+        }
+    }
+}
+
+impl Pod for bool {
+    const SIZE: usize = 1;
+    #[inline]
+    fn read_from(b: &[u8]) -> Self {
+        b[0] != 0
+    }
+    #[inline]
+    fn write_to(self, b: &mut [u8]) {
+        b[0] = self as u8;
+    }
+}
+
+/// Implements [`Pod`] for a struct by concatenating the encodings of its
+/// fields in declaration order.
+///
+/// ```
+/// use repseq_dsm::{impl_pod_struct, Pod};
+///
+/// #[derive(Clone, Copy, Default, PartialEq, Debug)]
+/// struct Body { pos: [f64; 3], mass: f64, id: u32 }
+/// impl_pod_struct!(Body { pos: [f64; 3], mass: f64, id: u32 });
+///
+/// let b = Body { pos: [1.0, 2.0, 3.0], mass: 4.0, id: 5 };
+/// let mut buf = vec![0u8; Body::SIZE];
+/// b.write_to(&mut buf);
+/// assert_eq!(Body::read_from(&buf), b);
+/// assert_eq!(Body::SIZE, 3 * 8 + 8 + 4);
+/// ```
+#[macro_export]
+macro_rules! impl_pod_struct {
+    ($name:ident { $($field:ident : $ty:ty),+ $(,)? }) => {
+        impl $crate::Pod for $name {
+            const SIZE: usize = 0 $(+ <$ty as $crate::Pod>::SIZE)+;
+
+            fn read_from(b: &[u8]) -> Self {
+                let mut o = 0usize;
+                $(
+                    let $field = <$ty as $crate::Pod>::read_from(&b[o..]);
+                    o += <$ty as $crate::Pod>::SIZE;
+                )+
+                let _ = o;
+                $name { $($field),+ }
+            }
+
+            fn write_to(self, b: &mut [u8]) {
+                let mut o = 0usize;
+                $(
+                    <$ty as $crate::Pod>::write_to(self.$field, &mut b[o..]);
+                    o += <$ty as $crate::Pod>::SIZE;
+                )+
+                let _ = o;
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut buf = [0u8; 8];
+        42u32.write_to(&mut buf);
+        assert_eq!(u32::read_from(&buf), 42);
+        (-7i64).write_to(&mut buf);
+        assert_eq!(i64::read_from(&buf), -7);
+        3.25f64.write_to(&mut buf);
+        assert_eq!(f64::read_from(&buf), 3.25);
+        true.write_to(&mut buf);
+        assert!(bool::read_from(&buf));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = [1.5f64, -2.5, 0.0];
+        let mut buf = [0u8; 24];
+        v.write_to(&mut buf);
+        assert_eq!(<[f64; 3]>::read_from(&buf), v);
+        assert_eq!(<[f64; 3]>::SIZE, 24);
+    }
+
+    #[derive(Clone, Copy, Default, PartialEq, Debug)]
+    struct Cell {
+        children: [u32; 8],
+        com: [f64; 3],
+        mass: f64,
+    }
+    impl_pod_struct!(Cell { children: [u32; 8], com: [f64; 3], mass: f64 });
+
+    #[test]
+    fn struct_roundtrip_and_size() {
+        assert_eq!(Cell::SIZE, 8 * 4 + 3 * 8 + 8);
+        let c = Cell { children: [1, 2, 3, 4, 5, 6, 7, 8], com: [0.5, -0.5, 9.0], mass: 2.0 };
+        let mut buf = vec![0u8; Cell::SIZE];
+        c.write_to(&mut buf);
+        assert_eq!(Cell::read_from(&buf), c);
+    }
+
+    #[test]
+    fn encoding_is_little_endian_stable() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.write_to(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

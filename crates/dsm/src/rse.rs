@@ -1,0 +1,395 @@
+//! Replicated sequential execution (§5.2–§5.4): the paper's contribution.
+//!
+//! Application side: the valid-notice exchange at the join before a
+//! replicated section, requester election on faults, and the wait for
+//! multicast diffs. Handler side: the master-serialized forwarded requests
+//! and the id-ordered reply chain with null-ack flow control.
+
+use repseq_sim::{Ctx, Stopped};
+use repseq_stats::{MsgClass, NodeId};
+
+use crate::interval::PageId;
+use crate::msg::{DsmMsg, TaskPayload};
+use crate::runtime::DsmNode;
+use crate::state::{ChainState, NodeState};
+use crate::vc::Vc;
+
+// =================================================================
+// Application side
+// =================================================================
+
+impl DsmNode {
+    /// Master: run the valid-notice exchange at the join before a
+    /// replicated section (§5.4.1: "Valid notices are exchanged only at the
+    /// join before a sequential section"), then fork the replicated `task`
+    /// to every slave together with the aggregated table.
+    pub fn fork_replicated(&self, task: TaskPayload) -> Result<(), Stopped> {
+        assert!(self.is_master());
+        let n = self.topo.n;
+        let t0 = self.ctx.now();
+
+        // 1. Collect everyone's valid-notice deltas.
+        for s in 1..n {
+            let msg = DsmMsg::ValidNoticeRequest { reply_to: self.ctx.pid() };
+            let size = msg.wire_size();
+            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::ValidNotice, size, msg);
+        }
+        let mut table: Vec<(NodeId, PageId, Vc)> = {
+            let mut st = self.st.lock();
+            st.take_valid_delta().into_iter().map(|(p, vc)| (0usize, p, vc)).collect()
+        };
+        let mut pending = n - 1;
+        while pending > 0 {
+            let env = self.ctx.recv()?;
+            match env.msg {
+                DsmMsg::ValidNoticeReply { from, delta } => {
+                    let mut st = self.st.lock();
+                    for (p, vc) in delta {
+                        st.valid_known[from].insert(p, vc.clone());
+                        table.push((from, p, vc));
+                    }
+                    pending -= 1;
+                }
+                DsmMsg::WakePage { .. } => {}
+                other => panic!("master: unexpected {} during valid-notice exchange", other.kind()),
+            }
+        }
+        table.sort_by_key(|(q, p, _)| (*q, *p));
+
+        // 2. Distribute the table so every node elects identical
+        //    requesters: the same data goes to everyone, so it travels as
+        //    ONE multicast over the hub to the protocol handlers. The
+        //    master blocks until delivery — the forks go over the switch
+        //    and must not overtake the table.
+        let msg = DsmMsg::ValidNoticeTable { deltas: table };
+        let size = msg.wire_size();
+        let dsts: Vec<_> = self
+            .topo
+            .all_handlers()
+            .into_iter()
+            .filter(|&(node, _)| node != 0)
+            .collect();
+        let at = self.nic.multicast_reliable(&self.ctx, &dsts, MsgClass::ValidNotice, size, msg);
+        let service = self.st.lock().cfg.service_overhead;
+        let resume_at = at + service * 2;
+        let now = self.ctx.now();
+        if resume_at > now {
+            self.ctx.sleep(resume_at - now)?;
+        }
+        self.topo.stats.on_valid_notice_time(0, self.ctx.now() - t0);
+
+        // 3. Fork the replicated body.
+        self.fork_slaves(task, true)
+    }
+
+    /// Enter the replicated section (both master and slaves, after the fork
+    /// records are applied): write-protect dirty pages (§5.3) and snapshot
+    /// the entry timestamp.
+    pub fn enter_replicated(&self) {
+        let mut st = self.st.lock();
+        st.enter_replicated();
+    }
+
+    /// Master: wait for every slave's end-of-section signal, release them,
+    /// and retire the section. "At the fork at the end of a sequential
+    /// section, threads wait until all other threads have finished ... No
+    /// memory coherence information is exchanged" (§5.2).
+    pub fn end_replicated_master(&self) -> Result<(), Stopped> {
+        assert!(self.is_master());
+        let n = self.topo.n;
+        let mut pending = n - 1;
+        {
+            // SeqDone signals that arrived while the master was blocked in
+            // its own replicated fault were buffered.
+            let mut st = self.st.lock();
+            pending -= st.pending_seqdone;
+            st.pending_seqdone = 0;
+        }
+        while pending > 0 {
+            let env = self.ctx.recv()?;
+            match env.msg {
+                DsmMsg::SeqDone { .. } => pending -= 1,
+                DsmMsg::WakePage { .. } => {}
+                other => panic!("master: unexpected {} ending replicated section", other.kind()),
+            }
+        }
+        for s in 1..n {
+            let msg = DsmMsg::SeqGo;
+            let size = msg.wire_size();
+            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::Sync, size, msg);
+        }
+        self.ctx.charge(self.sync_cost());
+        self.st.lock().exit_replicated();
+        Ok(())
+    }
+
+    /// Slave: signal completion of the replicated body and wait for the
+    /// master's go-ahead, then retire the section.
+    pub fn end_replicated_slave(&self) -> Result<(), Stopped> {
+        assert!(!self.is_master());
+        let node = self.node();
+        let msg = DsmMsg::SeqDone { from: node };
+        let size = msg.wire_size();
+        self.ctx.charge(self.sync_cost());
+        self.nic.unicast(&self.ctx, 0, self.topo.app_pids[0], MsgClass::Sync, size, msg);
+        loop {
+            let env = self.ctx.recv()?;
+            match env.msg {
+                DsmMsg::SeqGo => break,
+                DsmMsg::WakePage { .. } => {}
+                other => panic!("node {node}: unexpected {} awaiting SeqGo", other.kind()),
+            }
+        }
+        self.st.lock().exit_replicated();
+        Ok(())
+    }
+}
+
+/// A read fault inside a replicated section (§5.4): elect the requester
+/// deterministically; the elected node sends one request (serialized
+/// through the master); everyone waits for the multicast reply chain,
+/// which the node's handler applies. Timeouts trigger the direct recovery
+/// path.
+pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped> {
+    let me = node.node();
+    let t0 = node.ctx().now();
+    let (send_request, wanted) = {
+        let mut st = node.st.lock();
+        if st.can_complete(p) {
+            // The diffs already arrived via an earlier multicast.
+            let cost = st.apply_cached_diffs(p);
+            drop(st);
+            node.ctx().charge(cost);
+            return Ok(());
+        }
+        let (requester, wanted) = st.elect_requester(p);
+        let send = requester == me && !st.rse_requested.contains(&p);
+        if send {
+            st.rse_requested.insert(p);
+        }
+        st.waiting_page = Some(p);
+        (send, wanted)
+    };
+    if send_request {
+        let msg = DsmMsg::McastRequest { page: p, wanted, requester: me };
+        let size = msg.wire_size();
+        // Serialized at the master (§5.4.2): a point-to-point message to
+        // the master, which multicasts the forwarded request.
+        node.nic.unicast(
+            node.ctx(),
+            0,
+            node.topo.handler_pids[0],
+            MsgClass::DiffRequest,
+            size,
+            msg,
+        );
+    }
+    let timeout = node.st.lock().cfg.rse_timeout;
+    loop {
+        match node.ctx().recv_timeout(timeout)? {
+            Some(env) => match env.msg {
+                DsmMsg::WakePage { page } if page == p => {
+                    let mut st = node.st.lock();
+                    if st.page_mut(p).valid {
+                        st.waiting_page = None;
+                        break;
+                    }
+                }
+                DsmMsg::WakePage { page } => {
+                    debug_assert_ne!(page, p); // handled above
+                }
+                other => {
+                    if !node.absorb_stray(other) {
+                        panic!(
+                            "node {me}: unexpected message waiting for multicast diffs of page {p}"
+                        );
+                    }
+                }
+            },
+            None => {
+                // §5.4.2 recovery: "When a thread times out on receive, it
+                // sends out a request asking for its missing diffs
+                // regardless of other threads ... and the replies are
+                // multicast to all threads."
+                let plan = node.st.lock().fetch_plan(p);
+                let mut owners: Vec<NodeId> = plan.keys().copied().collect();
+                owners.sort_unstable();
+                for owner in owners {
+                    let msg = DsmMsg::RecoveryRequest {
+                        page: p,
+                        ivxs: plan[&owner].clone(),
+                        requester: me,
+                        reply_mcast: true,
+                    };
+                    let size = msg.wire_size();
+                    node.nic.unicast(
+                        node.ctx(),
+                        owner,
+                        node.topo.handler_pids[owner],
+                        MsgClass::DiffRequest,
+                        size,
+                        msg,
+                    );
+                }
+            }
+        }
+    }
+    let waited = node.ctx().now() - t0;
+    node.topo.stats.on_diff_stall(me, waited);
+    if send_request {
+        node.topo.stats.on_diff_request_complete(me, waited);
+    }
+    Ok(())
+}
+
+// =================================================================
+// Handler side
+// =================================================================
+
+/// Request sequence number used by out-of-band recovery replies.
+pub(crate) const OOB_SEQ: u64 = u64::MAX;
+
+/// Master handler: queue a forwarded request; start it if the medium is
+/// free ("Diff requests from different threads are serialized at the
+/// master thread", §5.4.2). Returns a message to multicast, if any.
+/// Under [`FlowControl::Concurrent`] the request is forwarded immediately
+/// with no serialization.
+pub(crate) fn master_enqueue(
+    st: &mut NodeState,
+    page: PageId,
+    wanted: Vec<(NodeId, u32)>,
+    requester: NodeId,
+) -> Option<DsmMsg> {
+    if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
+        let req_seq = st.mcast_next_seq;
+        st.mcast_next_seq += 1;
+        return Some(DsmMsg::McastForward { page, wanted, requester, req_seq });
+    }
+    st.mcast_queue.push_back((page, wanted, requester));
+    master_try_start(st)
+}
+
+/// Master handler: begin the next queued forwarded request if none is in
+/// flight.
+pub(crate) fn master_try_start(st: &mut NodeState) -> Option<DsmMsg> {
+    if st.mcast_inflight.is_some() {
+        return None;
+    }
+    let (page, wanted, requester) = st.mcast_queue.pop_front()?;
+    let req_seq = st.mcast_next_seq;
+    st.mcast_next_seq += 1;
+    st.mcast_inflight = Some(req_seq);
+    Some(DsmMsg::McastForward { page, wanted, requester, req_seq })
+}
+
+/// Any handler: a forwarded request arrived; set up the reply chain. The
+/// chain starts at node 0: each node multicasts its diffs — or a null
+/// acknowledgment — once it has received everything from its predecessor
+/// (§5.4.2 flow control).
+///
+/// Under [`FlowControl::Concurrent`] there is no chain: the handler
+/// immediately produces its own diffs, if it has any (the return value),
+/// and sends no null acknowledgments.
+pub(crate) fn on_forward(
+    st: &mut NodeState,
+    page: PageId,
+    wanted: Vec<(NodeId, u32)>,
+    requester: NodeId,
+    req_seq: u64,
+) -> Option<(DsmMsg, repseq_sim::Dur)> {
+    if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
+        let me = st.node;
+        let my_ivxs: Vec<u32> = wanted
+            .iter()
+            .filter(|&&(owner, _)| owner == me)
+            .map(|&(_, ivx)| ivx)
+            .collect();
+        if my_ivxs.is_empty() {
+            return None;
+        }
+        let (cost, diffs) = st.serve_diff_request(page, &my_ivxs);
+        return Some((DsmMsg::McastDiffReply { page, diffs, turn: me, req_seq }, cost));
+    }
+    st.chains.insert(req_seq, ChainState { page, wanted, requester, next_turn: 0 });
+    take_turn(st, req_seq)
+}
+
+/// Does this node hold the next turn of chain `req_seq`? If so, produce the
+/// turn message (diff reply or null ack) and the diff-creation cost.
+pub(crate) fn take_turn(
+    st: &mut NodeState,
+    req_seq: u64,
+) -> Option<(DsmMsg, repseq_sim::Dur)> {
+    let me = st.node;
+    let (page, my_ivxs) = {
+        let chain = st.chains.get(&req_seq)?;
+        if chain.next_turn != me {
+            return None;
+        }
+        let my_ivxs: Vec<u32> = chain
+            .wanted
+            .iter()
+            .filter(|&&(owner, _)| owner == me)
+            .map(|&(_, ivx)| ivx)
+            .collect();
+        (chain.page, my_ivxs)
+    };
+    if my_ivxs.is_empty() {
+        Some((DsmMsg::McastNullAck { page, turn: me, req_seq }, repseq_sim::Dur::ZERO))
+    } else {
+        let (cost, diffs) = st.serve_diff_request(page, &my_ivxs);
+        Some((DsmMsg::McastDiffReply { page, diffs, turn: me, req_seq }, cost))
+    }
+}
+
+/// Record that turn `turn` of chain `req_seq` was observed. Returns true if
+/// the chain completed (every node has spoken).
+pub(crate) fn advance_chain(st: &mut NodeState, req_seq: u64, turn: NodeId) -> bool {
+    let n = st.n;
+    let Some(chain) = st.chains.get_mut(&req_seq) else {
+        return false;
+    };
+    debug_assert_eq!(chain.next_turn, turn, "chain turn out of order");
+    chain.next_turn = turn + 1;
+    if chain.next_turn == n {
+        st.chains.remove(&req_seq);
+        true
+    } else {
+        false
+    }
+}
+
+/// Incorporate multicast diffs at a handler: cache them, and if the local
+/// copy can now be completed (and is actually missing something — nodes
+/// with valid copies ignore the traffic), apply and wake a waiting
+/// application. Returns (apply cost, wake page).
+pub(crate) fn incorporate_diffs(
+    st: &mut NodeState,
+    page: PageId,
+    diffs: &[crate::page::DiffEntry],
+) -> (repseq_sim::Dur, Option<PageId>) {
+    st.cache_diffs(page, diffs);
+    let meta = st.page_mut(page);
+    if meta.valid {
+        return (repseq_sim::Dur::ZERO, None);
+    }
+    if !st.can_complete(page) {
+        return (repseq_sim::Dur::ZERO, None);
+    }
+    let cost = st.apply_cached_diffs(page);
+    let wake = if st.waiting_page == Some(page) { Some(page) } else { None };
+    (cost, wake)
+}
+
+/// Convenience used by the handler loop to multicast a message to every
+/// handler.
+pub(crate) fn multicast_to_handlers(
+    node_nic: &repseq_net::Nic,
+    ctx: &Ctx<DsmMsg>,
+    topo: &crate::runtime::Topology,
+    class: MsgClass,
+    msg: DsmMsg,
+) {
+    let size = msg.wire_size();
+    node_nic.multicast(ctx, &topo.all_handlers(), class, size, msg);
+}

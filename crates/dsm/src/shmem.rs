@@ -1,0 +1,130 @@
+//! Typed handles into the shared address space.
+//!
+//! Handles are plain `(address, length)` pairs — `Copy`, cheaply captured
+//! by fork closures, exactly like the shared-variable addresses the
+//! OpenMP-to-TreadMarks translator passes to slaves at a fork (§2.3).
+
+use std::marker::PhantomData;
+
+use repseq_sim::Stopped;
+
+use crate::pod::Pod;
+use crate::runtime::DsmNode;
+
+/// A shared array of `T`.
+pub struct ShArray<T: Pod> {
+    base: u64,
+    len: usize,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> Clone for ShArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for ShArray<T> {}
+
+impl<T: Pod> ShArray<T> {
+    pub(crate) fn new(base: u64, len: usize) -> Self {
+        ShArray { base, len, _t: PhantomData }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "index {i} out of bounds ({} elements)", self.len);
+        self.base + (i * T::SIZE) as u64
+    }
+
+    /// Read element `i` on `node`.
+    #[inline]
+    pub fn get(&self, node: &DsmNode, i: usize) -> Result<T, Stopped> {
+        node.read(self.addr(i))
+    }
+
+    /// Write element `i` on `node`.
+    #[inline]
+    pub fn set(&self, node: &DsmNode, i: usize, v: T) -> Result<(), Stopped> {
+        node.write(self.addr(i), v)
+    }
+
+    /// Read a contiguous range into `out` (page checks amortized per page).
+    pub fn read_range(&self, node: &DsmNode, start: usize, out: &mut [T]) -> Result<(), Stopped> {
+        assert!(start + out.len() <= self.len);
+        let mut buf = vec![0u8; out.len() * T::SIZE];
+        node.read_bytes(self.addr(start), &mut buf)?;
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = T::read_from(&buf[k * T::SIZE..]);
+        }
+        Ok(())
+    }
+
+    /// Write a contiguous range from `vals`.
+    pub fn write_range(&self, node: &DsmNode, start: usize, vals: &[T]) -> Result<(), Stopped> {
+        assert!(start + vals.len() <= self.len);
+        let mut buf = vec![0u8; vals.len() * T::SIZE];
+        for (k, v) in vals.iter().enumerate() {
+            v.write_to(&mut buf[k * T::SIZE..]);
+        }
+        node.write_bytes(self.addr(start), &buf)
+    }
+
+    /// The page range `[first, last]` the array spans (for the
+    /// hand-inserted broadcast ablation).
+    pub fn page_span(&self, page_size: usize) -> (u32, u32) {
+        let first = (self.base / page_size as u64) as u32;
+        let last_byte = self.base + (self.len * T::SIZE).max(1) as u64 - 1;
+        (first, (last_byte / page_size as u64) as u32)
+    }
+}
+
+/// A single shared variable.
+pub struct ShVar<T: Pod> {
+    arr: ShArray<T>,
+}
+
+impl<T: Pod> Clone for ShVar<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for ShVar<T> {}
+
+impl<T: Pod> ShVar<T> {
+    pub(crate) fn from_array(arr: ShArray<T>) -> Self {
+        debug_assert_eq!(arr.len(), 1);
+        ShVar { arr }
+    }
+
+    /// The variable's address.
+    pub fn addr(&self) -> u64 {
+        self.arr.addr(0)
+    }
+
+    pub(crate) fn as_array(&self) -> ShArray<T> {
+        self.arr
+    }
+
+    /// Read on `node`.
+    #[inline]
+    pub fn get(&self, node: &DsmNode) -> Result<T, Stopped> {
+        self.arr.get(node, 0)
+    }
+
+    /// Write on `node`.
+    #[inline]
+    pub fn set(&self, node: &DsmNode, v: T) -> Result<(), Stopped> {
+        self.arr.set(node, 0, v)
+    }
+}

@@ -1,0 +1,170 @@
+//! Vector timestamps (§5.1 of the paper).
+//!
+//! Each node's execution is divided into intervals; every interval carries
+//! a vector timestamp with one entry per node. Entry `q` of the timestamp
+//! of interval `i` of node `p` names the most recent interval of `q` that
+//! precedes `i` in the happened-before partial order.
+
+use repseq_stats::NodeId;
+
+/// A vector timestamp: entry `q` is the index of the latest interval of
+/// node `q` covered by this timestamp (0 = nothing).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Vc(Vec<u32>);
+
+impl Vc {
+    /// The zero timestamp for an `n`-node cluster.
+    pub fn zero(n: usize) -> Vc {
+        Vc(vec![0; n])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no entries (unused placeholder).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The entry for node `q`.
+    #[inline]
+    pub fn get(&self, q: NodeId) -> u32 {
+        self.0[q]
+    }
+
+    /// Set the entry for node `q`.
+    #[inline]
+    pub fn set(&mut self, q: NodeId, v: u32) {
+        self.0[q] = v;
+    }
+
+    /// Pairwise maximum (the merge performed at an acquire).
+    pub fn merge(&mut self, other: &Vc) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` in the dominance (component-wise) order: everything
+    /// this timestamp covers is also covered by `other`.
+    pub fn dominated_by(&self, other: &Vc) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// True if an interval with index `ivx` of node `owner` is covered by
+    /// this timestamp. Interval indices of one node are totally ordered, so
+    /// coverage is a single comparison.
+    #[inline]
+    pub fn covers(&self, owner: NodeId, ivx: u32) -> bool {
+        self.0[owner] >= ivx
+    }
+
+    /// Sum of entries — a linear extension of the dominance order, used to
+    /// sort diffs into a legal application order (if `a` strictly dominates
+    /// `b`, then `sum(a) > sum(b)`).
+    pub fn weight(&self) -> u64 {
+        self.0.iter().map(|&v| v as u64).sum()
+    }
+
+    /// Approximate wire size in bytes (4 bytes per entry).
+    pub fn wire_size(&self) -> u64 {
+        4 * self.0.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_dominated_by_everything() {
+        let z = Vc::zero(4);
+        let mut v = Vc::zero(4);
+        v.set(2, 5);
+        assert!(z.dominated_by(&v));
+        assert!(z.dominated_by(&z));
+        assert!(!v.dominated_by(&z));
+    }
+
+    #[test]
+    fn merge_is_pairwise_max() {
+        let mut a = Vc::zero(3);
+        a.set(0, 4);
+        a.set(1, 1);
+        let mut b = Vc::zero(3);
+        b.set(1, 3);
+        b.set(2, 2);
+        a.merge(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (4, 3, 2));
+    }
+
+    #[test]
+    fn covers_checks_single_entry() {
+        let mut v = Vc::zero(3);
+        v.set(1, 7);
+        assert!(v.covers(1, 7));
+        assert!(v.covers(1, 1));
+        assert!(!v.covers(1, 8));
+        assert!(v.covers(0, 0));
+        assert!(!v.covers(0, 1));
+    }
+
+    #[test]
+    fn weight_is_linear_extension() {
+        let mut a = Vc::zero(3);
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.set(1, 2);
+        // a < b strictly, so weight must increase.
+        assert!(a.dominated_by(&b) && a != b);
+        assert!(a.weight() < b.weight());
+    }
+
+    #[test]
+    fn concurrent_timestamps_neither_dominates() {
+        let mut a = Vc::zero(2);
+        a.set(0, 1);
+        let mut b = Vc::zero(2);
+        b.set(1, 1);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_merge_dominates_both(a in proptest::collection::vec(0u32..50, 4),
+                                     b in proptest::collection::vec(0u32..50, 4)) {
+            let va = Vc(a.clone());
+            let vb = Vc(b.clone());
+            let mut m = va.clone();
+            m.merge(&vb);
+            proptest::prop_assert!(va.dominated_by(&m));
+            proptest::prop_assert!(vb.dominated_by(&m));
+            // And it is the least upper bound: any other upper bound
+            // dominates the merge.
+            let ub = Vc(a.iter().zip(&b).map(|(x, y)| x.max(y) + 1).collect());
+            proptest::prop_assert!(m.dominated_by(&ub));
+        }
+
+        #[test]
+        fn prop_dominance_is_a_partial_order(a in proptest::collection::vec(0u32..10, 3),
+                                             b in proptest::collection::vec(0u32..10, 3),
+                                             c in proptest::collection::vec(0u32..10, 3)) {
+            let (va, vb, vc_) = (Vc(a), Vc(b), Vc(c));
+            // reflexive
+            proptest::prop_assert!(va.dominated_by(&va));
+            // antisymmetric
+            if va.dominated_by(&vb) && vb.dominated_by(&va) {
+                proptest::prop_assert_eq!(&va, &vb);
+            }
+            // transitive
+            if va.dominated_by(&vb) && vb.dominated_by(&vc_) {
+                proptest::prop_assert!(va.dominated_by(&vc_));
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Edge cases of the DSM: page-straddling values, degenerate cluster
+//! sizes, allocator behaviour, preloaded images, lock chains across
+//! managers, and big-value round trips.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_dsm::{impl_pod_struct, Cluster, ClusterConfig, DsmNode, Pod, ShArray};
+use repseq_sim::Stopped;
+use repseq_stats::Stats;
+
+type Apps = Vec<Box<dyn FnOnce(DsmNode) -> Result<(), Stopped> + Send + 'static>>;
+
+fn cluster(n: usize) -> Cluster {
+    Cluster::new(ClusterConfig::paper(n), Stats::new(n))
+}
+
+fn spmd(cl: Cluster, n: usize, f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static) {
+    let f = Arc::new(f);
+    let apps: Apps = (0..n)
+        .map(|_| {
+            let f = Arc::clone(&f);
+            Box::new(move |node: DsmNode| f(&node)) as _
+        })
+        .collect();
+    cl.launch(apps).expect("simulation failed");
+}
+
+/// A value whose bytes straddle a page boundary is read and written
+/// correctly, with faults taken on both pages.
+#[test]
+fn values_straddle_page_boundaries() {
+    let n = 2;
+    let mut cl = cluster(n);
+    // Elements of 24 bytes: 4096/24 is not integral, so elements straddle.
+    let arr: ShArray<[f64; 3]> = cl.alloc_array_page_aligned(400);
+    let straddler = (0..400)
+        .find(|&i| {
+            let a = arr.addr(i);
+            a / 4096 != (a + 23) / 4096
+        })
+        .expect("some element must straddle");
+    let ok = Arc::new(Mutex::new(false));
+    let ok2 = Arc::clone(&ok);
+    spmd(cl, n, move |node| {
+        if node.is_master() {
+            arr.set(node, straddler, [1.5, -2.5, 3.25])?;
+        }
+        node.barrier()?;
+        let v = arr.get(node, straddler)?;
+        assert_eq!(v, [1.5, -2.5, 3.25]);
+        if node.node() == 1 {
+            *ok2.lock() = true;
+        }
+        Ok(())
+    });
+    assert!(*ok.lock());
+}
+
+/// Single-node clusters degrade gracefully: barriers, locks and sections
+/// all work with no peers.
+#[test]
+fn single_node_cluster_works() {
+    let mut cl = cluster(1);
+    let x = cl.alloc_var::<u64>();
+    let done = Arc::new(Mutex::new(0u64));
+    let done2 = Arc::clone(&done);
+    let apps: Apps = vec![Box::new(move |node: DsmNode| {
+        node.barrier()?;
+        node.lock(5)?;
+        x.set(&node, 17)?;
+        node.unlock(5)?;
+        node.barrier()?;
+        node.run_replicated(move |nd| {
+            let v = x.get(nd)?;
+            x.set(nd, v + 1)
+        })?;
+        node.run_parallel(move |nd| {
+            let v = x.get(nd)?;
+            x.set(nd, v * 2)
+        })?;
+        *done2.lock() = x.get(&node)?;
+        node.shutdown_slaves()
+    })];
+    cl.launch(apps).unwrap();
+    assert_eq!(*done.lock(), 36);
+}
+
+/// Preloaded initial images are visible on every node without any
+/// communication.
+#[test]
+fn preload_is_visible_everywhere_for_free() {
+    let n = 3;
+    let stats = Stats::new(n);
+    let mut cl = Cluster::new(ClusterConfig::paper(n), Arc::clone(&stats));
+    let arr: ShArray<u32> = cl.alloc_array(1000);
+    let vals: Vec<u32> = (0..1000).map(|i| i * 3 + 1).collect();
+    cl.preload(arr, &vals);
+    stats.start_measurement(repseq_sim::SimTime::ZERO);
+    spmd(cl, n, move |node| {
+        for i in (0..1000).step_by(97) {
+            assert_eq!(arr.get(node, i)?, (i as u32) * 3 + 1);
+        }
+        Ok(())
+    });
+    let snap = stats.snapshot();
+    assert_eq!(snap.total_agg().diff_messages, 0, "preloaded data needs no diffs");
+}
+
+/// Locks with different managers chain correctly when acquired by many
+/// nodes in interleaved orders.
+#[test]
+fn many_locks_many_managers() {
+    let n = 4;
+    let mut cl = cluster(n);
+    let counters: ShArray<u64> = cl.alloc_array_page_aligned(8);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    spmd(cl, n, move |node| {
+        // Locks 0..8 are managed by nodes (l % 4). Every node increments
+        // every counter under its lock, in a node-specific order.
+        for round in 0..8 {
+            let l = (round + node.node() * 3) % 8;
+            node.lock(l as u32)?;
+            let v = counters.get(node, l)?;
+            counters.set(node, l, v + 1)?;
+            node.unlock(l as u32)?;
+        }
+        node.barrier()?;
+        if node.is_master() {
+            let mut v = Vec::new();
+            for l in 0..8 {
+                v.push(counters.get(node, l)?);
+            }
+            *out2.lock() = v;
+        }
+        Ok(())
+    });
+    assert_eq!(*out.lock(), vec![4u64; 8]);
+}
+
+/// Re-acquiring a cached lock (token still local) is free of traffic.
+#[test]
+fn lock_token_caching_avoids_traffic() {
+    let n = 2;
+    let stats = Stats::new(n);
+    let mut cl = Cluster::new(ClusterConfig::paper(n), Arc::clone(&stats));
+    let x = cl.alloc_var::<u64>();
+    stats.start_measurement(repseq_sim::SimTime::ZERO);
+    stats.set_section(repseq_stats::Section::Parallel, repseq_sim::SimTime::ZERO);
+    let apps: Apps = vec![
+        Box::new(move |node: DsmNode| {
+            // Master acquires the same lock many times with nobody
+            // contending: after the first acquire the token stays local.
+            for i in 0..20 {
+                node.lock(2)?;
+                x.set(&node, i)?;
+                node.unlock(2)?;
+            }
+            node.barrier()?;
+            Ok(())
+        }),
+        Box::new(|node: DsmNode| {
+            node.barrier()?;
+            Ok(())
+        }),
+    ];
+    cl.launch(apps).unwrap();
+    let snap = stats.snapshot();
+    // One manager round-trip for the first acquire (lock 2 is managed by
+    // node 0 itself → local messages only), plus the barrier traffic.
+    let total = snap.total_agg();
+    assert!(
+        total.messages <= 6,
+        "cached re-acquires must not generate traffic: {} messages",
+        total.messages
+    );
+}
+
+/// Big Pod structs (up to the 256-byte access limit) round-trip through
+/// shared memory.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct Big {
+    a: [f64; 16],
+    b: [u32; 16],
+    c: u64,
+}
+impl_pod_struct!(Big { a: [f64; 16], b: [u32; 16], c: u64 });
+
+#[test]
+fn large_pod_values_roundtrip() {
+    assert_eq!(Big::SIZE, 16 * 8 + 16 * 4 + 8);
+    let n = 2;
+    let mut cl = cluster(n);
+    let arr: ShArray<Big> = cl.alloc_array(10);
+    let ok = Arc::new(Mutex::new(false));
+    let ok2 = Arc::clone(&ok);
+    spmd(cl, n, move |node| {
+        let v = Big { a: [0.5; 16], b: [7; 16], c: 99 };
+        if node.is_master() {
+            arr.set(node, 3, v)?;
+        }
+        node.barrier()?;
+        assert_eq!(arr.get(node, 3)?, v);
+        if node.node() == 1 {
+            *ok2.lock() = true;
+        }
+        Ok(())
+    });
+    assert!(*ok.lock());
+}
+
+/// The shared-heap allocator respects alignment and rejects exhaustion.
+#[test]
+fn allocator_alignment_and_exhaustion() {
+    let mut cfg = ClusterConfig::paper(2);
+    cfg.dsm.heap_pages = 4; // 16 KB heap
+    let mut cl = Cluster::new(cfg, Stats::new(2));
+    let a: ShArray<u64> = cl.alloc_array(10);
+    assert_eq!(a.addr(0) % 8, 0);
+    let b: ShArray<u8> = cl.alloc_array_page_aligned(100);
+    assert_eq!(b.addr(0) % 4096, 0);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _c: ShArray<u64> = cl.alloc_array(10_000); // 80 KB > 16 KB heap
+    }));
+    assert!(r.is_err(), "heap exhaustion must panic with a clear message");
+}
+
+/// `read_range`/`write_range` round-trip across many pages, including
+/// unaligned starts.
+#[test]
+fn bulk_ranges_roundtrip() {
+    let n = 2;
+    let mut cl = cluster(n);
+    let arr: ShArray<u64> = cl.alloc_array_page_aligned(3000);
+    let ok = Arc::new(Mutex::new(false));
+    let ok2 = Arc::clone(&ok);
+    spmd(cl, n, move |node| {
+        if node.is_master() {
+            let vals: Vec<u64> = (0..1500).map(|i| i * 11).collect();
+            arr.write_range(node, 777, &vals)?;
+        }
+        node.barrier()?;
+        let mut out = vec![0u64; 1500];
+        arr.read_range(node, 777, &mut out)?;
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, (k as u64) * 11);
+        }
+        if node.node() == 1 {
+            *ok2.lock() = true;
+        }
+        Ok(())
+    });
+    assert!(*ok.lock());
+}
+
+/// Page-span helper used by the broadcast ablation.
+#[test]
+fn page_span_covers_array() {
+    let mut cl = cluster(2);
+    let arr: ShArray<u64> = cl.alloc_array_page_aligned(1024); // exactly 2 pages
+    let (first, last) = arr.page_span(4096);
+    assert_eq!(last - first + 1, 2);
+    let one: ShArray<u8> = cl.alloc_array(1);
+    let (f2, l2) = one.page_span(4096);
+    assert_eq!(f2, l2);
+}

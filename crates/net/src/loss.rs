@@ -1,0 +1,66 @@
+//! Deterministic message-loss injection.
+//!
+//! A counter-based splitmix64 keeps the decision sequence independent of
+//! frame contents and identical across runs with the same seed — required
+//! for reproducible tests of the timeout-recovery path (§5.4.2).
+
+use crate::config::LossConfig;
+
+pub(crate) struct LossState {
+    cfg: LossConfig,
+    counter: u64,
+}
+
+impl LossState {
+    pub(crate) fn new(cfg: LossConfig) -> Self {
+        LossState { cfg, counter: 0 }
+    }
+
+    /// Decide whether the frame from `src` to `dst` is dropped.
+    pub(crate) fn drop_frame(&mut self, src: usize, dst: usize, bytes: u64) -> bool {
+        self.counter += 1;
+        let x = splitmix64(
+            self.cfg
+                .seed
+                .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((src as u64) << 32)
+                .wrapping_add(dst as u64)
+                .wrapping_add(bytes.rotate_left(17)),
+        );
+        (x % 1000) < self.cfg.drop_per_mille as u64
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_deterministic() {
+        let mut a = LossState::new(LossConfig { drop_per_mille: 100, seed: 42, unicast: true });
+        let mut b = LossState::new(LossConfig { drop_per_mille: 100, seed: 42, unicast: true });
+        for i in 0..1000 {
+            assert_eq!(a.drop_frame(i % 7, i % 5, i as u64), b.drop_frame(i % 7, i % 5, i as u64));
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_right() {
+        let mut l = LossState::new(LossConfig { drop_per_mille: 100, seed: 7, unicast: true });
+        let drops = (0..10_000).filter(|&i| l.drop_frame(0, 1, i)).count();
+        assert!((800..1200).contains(&drops), "expected ~1000 drops, got {drops}");
+    }
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let mut l = LossState::new(LossConfig { drop_per_mille: 0, seed: 7, unicast: true });
+        assert!(!(0..1000).any(|i| l.drop_frame(1, 2, i)));
+    }
+}

@@ -1,0 +1,181 @@
+//! The process-side handle to the simulation kernel.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::engine::{Ctrl, Envelope, EventKind, Kernel, Pid, Status};
+use crate::error::Stopped;
+use crate::time::{Dur, SimTime};
+
+pub(crate) enum Resume {
+    Go { time: SimTime, timed_out: bool },
+    Stop,
+}
+
+/// Handle through which a simulated process observes and affects virtual
+/// time. One `Ctx` exists per process and is not shareable.
+///
+/// # Yield discipline
+///
+/// `charge` and `send` never yield to the engine; `recv`, `recv_timeout`,
+/// `try_recv` and `sleep` do. **Never hold a lock shared with another
+/// simulated process across a yielding call** — the other process would
+/// block on the lock at OS level without yielding in virtual time, and the
+/// simulation would hang.
+pub struct Ctx<M: Send + 'static> {
+    pid: Pid,
+    kernel: Arc<Mutex<Kernel<M>>>,
+    ctrl_tx: Sender<Ctrl>,
+    resume_rx: Receiver<Resume>,
+    /// Local copy of the process clock (nanoseconds); authoritative while
+    /// the process runs, written back to the kernel at yields.
+    clock: Cell<u64>,
+    /// Compute time charged since the last yield.
+    pending: Cell<u64>,
+}
+
+impl<M: Send + 'static> Ctx<M> {
+    pub(crate) fn new(
+        pid: Pid,
+        kernel: Arc<Mutex<Kernel<M>>>,
+        ctrl_tx: Sender<Ctrl>,
+        resume_rx: Receiver<Resume>,
+    ) -> Self {
+        Ctx { pid, kernel, ctrl_tx, resume_rx, clock: Cell::new(0), pending: Cell::new(0) }
+    }
+
+    /// Block until the engine first schedules this process.
+    pub(crate) fn wait_first_resume(&self) -> Result<(), Stopped> {
+        match self.resume_rx.recv() {
+            Ok(Resume::Go { time, .. }) => {
+                self.clock.set(time.nanos());
+                Ok(())
+            }
+            Ok(Resume::Stop) | Err(_) => Err(Stopped),
+        }
+    }
+
+    /// This process's id.
+    #[inline]
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time as seen by this process, including compute time
+    /// charged since the last yield.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock.get() + self.pending.get())
+    }
+
+    /// Account for `d` of local computation. Free at wall-clock level: the
+    /// charge is folded into the clock at the next yield point.
+    #[inline]
+    pub fn charge(&self, d: Dur) {
+        self.pending.set(self.pending.get() + d.nanos());
+    }
+
+    /// Schedule delivery of `msg` to `dst` at `deliver_at` (virtual time).
+    /// The delivery time is computed by the caller — in this workspace, by
+    /// the network model, which accounts for link occupancy. Never yields.
+    pub fn send(&self, dst: Pid, msg: M, deliver_at: SimTime) {
+        let at = deliver_at.max(self.now());
+        let mut k = self.kernel.lock();
+        debug_assert!(dst < k.procs.len(), "send to unknown pid {dst}");
+        k.push_event(at, EventKind::Deliver { dst, env: Envelope { from: self.pid, at, msg } });
+    }
+
+    /// Sleep for `d` of virtual time (plus any pending charge).
+    pub fn sleep(&self, d: Dur) -> Result<(), Stopped> {
+        let wake_at = self.flushed_clock() + d;
+        self.block(|k, pid| {
+            let gen = k.bump_gen(pid);
+            k.procs[pid].status = Status::Sleeping;
+            k.push_event(wake_at, EventKind::Wake { pid, gen });
+        })?;
+        Ok(())
+    }
+
+    /// Receive the next message, blocking in virtual time until one is
+    /// available.
+    pub fn recv(&self) -> Result<Envelope<M>, Stopped> {
+        loop {
+            if let Some(env) = self.recv_deadline(None)? {
+                return Ok(env);
+            }
+        }
+    }
+
+    /// Receive the next message, or `None` if none arrives within `d`.
+    pub fn recv_timeout(&self, d: Dur) -> Result<Option<Envelope<M>>, Stopped> {
+        let deadline = self.flushed_clock_peek() + d;
+        self.recv_deadline(Some(deadline))
+    }
+
+    /// Receive a message that has already arrived, without waiting beyond
+    /// the current instant. (Still a yield point: the kernel must process
+    /// deliveries up to the current clock.)
+    pub fn try_recv(&self) -> Result<Option<Envelope<M>>, Stopped> {
+        let deadline = self.flushed_clock_peek();
+        self.recv_deadline(Some(deadline))
+    }
+
+    fn recv_deadline(&self, deadline: Option<SimTime>) -> Result<Option<Envelope<M>>, Stopped> {
+        let at = self.flushed_clock_peek();
+        let (_, timed_out) = self.block(|k, pid| {
+            let gen = k.bump_gen(pid);
+            k.procs[pid].status = Status::Polling { deadline };
+            // Checkpoint wake at the current clock: by the time it pops, all
+            // deliveries up to this instant are in the mailbox.
+            k.push_event(at, EventKind::Wake { pid, gen });
+            if let Some(dl) = deadline {
+                if dl > at {
+                    k.push_event(dl, EventKind::Wake { pid, gen });
+                }
+            }
+        })?;
+        if timed_out {
+            return Ok(None);
+        }
+        let mut k = self.kernel.lock();
+        Ok(k.procs[self.pid].mailbox.pop_front())
+    }
+
+    /// Fold pending charge into the clock and return the new instant.
+    fn flushed_clock(&self) -> SimTime {
+        let c = self.clock.get() + self.pending.get();
+        self.clock.set(c);
+        self.pending.set(0);
+        SimTime::from_nanos(c)
+    }
+
+    /// Same as [`flushed_clock`] but usable before the block that flushes.
+    fn flushed_clock_peek(&self) -> SimTime {
+        self.flushed_clock()
+    }
+
+    /// Yield to the engine. `setup` runs under the kernel lock and must set
+    /// this process's status and schedule any wake events.
+    fn block(
+        &self,
+        setup: impl FnOnce(&mut Kernel<M>, Pid),
+    ) -> Result<(SimTime, bool), Stopped> {
+        let c = self.flushed_clock();
+        {
+            let mut k = self.kernel.lock();
+            k.procs[self.pid].clock = c;
+            setup(&mut k, self.pid);
+        }
+        self.ctrl_tx.send(Ctrl::Yielded(self.pid)).map_err(|_| Stopped)?;
+        match self.resume_rx.recv() {
+            Ok(Resume::Go { time, timed_out }) => {
+                self.clock.set(time.nanos());
+                Ok((time, timed_out))
+            }
+            Ok(Resume::Stop) | Err(_) => Err(Stopped),
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The discrete-event kernel.
+//!
+//! Every simulated process is an OS thread that cooperates with the engine:
+//! at any moment at most one process thread runs, and it is always the one
+//! whose next event has the globally minimal virtual time. This serializes
+//! execution completely, which makes every run bit-for-bit deterministic —
+//! a property the reproduced paper *relies on* (replicated sequential
+//! execution assumes deterministic sequential sections) and which makes the
+//! experiments repeatable.
+//!
+//! Processes interact with the kernel only through [`Ctx`](crate::Ctx):
+//! charging compute time, sending messages with an explicit delivery time
+//! (computed by the network layer), and blocking receives. `send` never
+//! yields; `recv`/`sleep` do. Local computation between yields is free in
+//! wall-clock terms (no context switch) and is folded into the process clock
+//! at the next yield point.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::ctx::{Ctx, Resume};
+use crate::error::{SimError, Stopped};
+use crate::time::SimTime;
+use crate::trace::TraceEntry;
+
+/// Identifier of a simulated process (index into the process table).
+pub type Pid = usize;
+
+/// A message in flight or in a mailbox.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending process.
+    pub from: Pid,
+    /// Virtual time at which the message became available to the receiver.
+    pub at: SimTime,
+    /// Payload.
+    pub msg: M,
+}
+
+pub(crate) enum EventKind<M> {
+    /// Wake a process (timer expiry or receive checkpoint). Stale if the
+    /// process generation has moved on.
+    Wake { pid: Pid, gen: u64 },
+    /// Deliver a message into a mailbox.
+    Deliver { dst: Pid, env: Envelope<M> },
+}
+
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    /// Reverse order so that `BinaryHeap` pops the earliest (time, seq).
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// What a blocked process is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Currently executing (at most one process at a time).
+    Running,
+    /// Waiting for a timer.
+    Sleeping,
+    /// Yielded for a receive; the checkpoint wake will inspect the mailbox.
+    Polling { deadline: Option<SimTime> },
+    /// Mailbox was empty at the checkpoint; waiting for a delivery
+    /// (and possibly a timeout).
+    Waiting { deadline: Option<SimTime> },
+    /// Finished.
+    Exited,
+}
+
+pub(crate) struct ProcSlot<M> {
+    pub name: String,
+    pub daemon: bool,
+    pub status: Status,
+    /// Bumped on every resume; wake events carry the generation at which
+    /// they were scheduled so stale wakes are ignored.
+    pub gen: u64,
+    pub clock: SimTime,
+    pub mailbox: VecDeque<Envelope<M>>,
+    pub resume_tx: Sender<Resume>,
+    pub panicked: bool,
+}
+
+pub(crate) struct Kernel<M> {
+    pub heap: BinaryHeap<Event<M>>,
+    pub procs: Vec<ProcSlot<M>>,
+    pub next_seq: u64,
+    pub trace: Option<Vec<TraceEntry>>,
+    /// Count of popped events, for the report.
+    pub events_processed: u64,
+}
+
+impl<M> Kernel<M> {
+    pub(crate) fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub(crate) fn bump_gen(&mut self, pid: Pid) -> u64 {
+        self.procs[pid].gen += 1;
+        self.procs[pid].gen
+    }
+}
+
+/// Control messages from process threads back to the engine.
+pub(crate) enum Ctrl {
+    /// The process blocked (its slot describes on what).
+    Yielded(Pid),
+    /// The process function returned or unwound.
+    Exited(Pid, /*panicked*/ bool),
+}
+
+/// Summary of a completed simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Virtual time of the last processed event.
+    pub end_time: SimTime,
+    /// Final virtual clock of every process, by name.
+    pub proc_clocks: Vec<(String, SimTime)>,
+    /// Total number of kernel events processed.
+    pub events_processed: u64,
+    /// Event trace, if recording was enabled with [`Sim::record_trace`].
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
+/// A simulation under construction and its runner.
+///
+/// `M` is the message payload type exchanged between processes.
+///
+/// ```
+/// use repseq_sim::{Sim, Dur};
+///
+/// let mut sim = Sim::<&'static str>::new();
+/// let ping = sim.spawn("ping", |ctx| {
+///     ctx.send(1, "hello", ctx.now() + Dur::from_micros(10));
+///     Ok(())
+/// });
+/// assert_eq!(ping, 0);
+/// sim.spawn("pong", |ctx| {
+///     let env = ctx.recv()?;
+///     assert_eq!(env.msg, "hello");
+///     assert_eq!(env.at.nanos(), 10_000);
+///     Ok(())
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time.nanos(), 10_000);
+/// ```
+pub struct Sim<M: Send + 'static> {
+    kernel: Arc<Mutex<Kernel<M>>>,
+    ctrl_tx: Sender<Ctrl>,
+    ctrl_rx: Receiver<Ctrl>,
+    threads: Vec<Option<JoinHandle<()>>>,
+    record_trace: bool,
+}
+
+impl<M: Send + 'static> Default for Sim<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Send + 'static> Sim<M> {
+    /// Create an empty simulation.
+    pub fn new() -> Self {
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        Sim {
+            kernel: Arc::new(Mutex::new(Kernel {
+                heap: BinaryHeap::new(),
+                procs: Vec::new(),
+                next_seq: 0,
+                trace: None,
+                events_processed: 0,
+            })),
+            ctrl_tx,
+            ctrl_rx,
+            threads: Vec::new(),
+            record_trace: false,
+        }
+    }
+
+    /// Record an event trace in the report (used by determinism tests).
+    pub fn record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// Spawn a primary process. The simulation ends when every primary
+    /// process has exited.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(Ctx<M>) -> Result<(), Stopped> + Send + 'static,
+    {
+        self.spawn_inner(name, false, f)
+    }
+
+    /// Spawn a daemon process (e.g. a protocol request handler). Daemons are
+    /// stopped automatically once all primary processes exit: their pending
+    /// blocking call returns [`Stopped`].
+    pub fn spawn_daemon<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(Ctx<M>) -> Result<(), Stopped> + Send + 'static,
+    {
+        self.spawn_inner(name, true, f)
+    }
+
+    fn spawn_inner<F>(&mut self, name: &str, daemon: bool, f: F) -> Pid
+    where
+        F: FnOnce(Ctx<M>) -> Result<(), Stopped> + Send + 'static,
+    {
+        let (resume_tx, resume_rx) = unbounded();
+        let pid = {
+            let mut k = self.kernel.lock();
+            let pid = k.procs.len();
+            k.procs.push(ProcSlot {
+                name: name.to_string(),
+                daemon,
+                status: Status::Sleeping,
+                gen: 0,
+                clock: SimTime::ZERO,
+                mailbox: VecDeque::new(),
+                resume_tx,
+                panicked: false,
+            });
+            // Initial wake at t=0 so the process starts when the engine runs.
+            k.push_event(SimTime::ZERO, EventKind::Wake { pid, gen: 0 });
+            pid
+        };
+        let ctx = Ctx::new(pid, Arc::clone(&self.kernel), self.ctrl_tx.clone(), resume_rx);
+        let ctrl_tx = self.ctrl_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                // Wait for the first resume before touching anything.
+                match ctx.wait_first_resume() {
+                    Ok(()) => {
+                        let guard = ExitGuard { pid, ctrl_tx: ctrl_tx.clone(), armed: true };
+                        let _ = f(ctx);
+                        guard.disarm_and_exit();
+                    }
+                    Err(Stopped) => {
+                        let _ = ctrl_tx.send(Ctrl::Exited(pid, false));
+                    }
+                }
+            })
+            .expect("failed to spawn simulation thread");
+        self.threads.push(Some(handle));
+        pid
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        if self.record_trace {
+            self.kernel.lock().trace = Some(Vec::new());
+        }
+        let n_primary = {
+            let k = self.kernel.lock();
+            k.procs.iter().filter(|p| !p.daemon).count()
+        };
+        if n_primary == 0 {
+            return Err(SimError::NoPrimaryProcesses);
+        }
+        let mut live_primary = n_primary;
+        let mut end_time = SimTime::ZERO;
+        let result = loop {
+            // Pop the next event (earliest virtual time).
+            let action = {
+                let mut k = self.kernel.lock();
+                match k.heap.pop() {
+                    None => {
+                        // No events left: either everything exited, or the
+                        // remaining processes are deadlocked waiting for
+                        // messages that will never arrive.
+                        if live_primary == 0 {
+                            break Ok(());
+                        }
+                        let blocked: Vec<(Pid, String)> = k
+                            .procs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| p.status != Status::Exited && !p.daemon)
+                            .map(|(i, p)| (i, format!("{} ({:?})", p.name, p.status)))
+                            .collect();
+                        break Err(SimError::Deadlock { blocked });
+                    }
+                    Some(ev) => {
+                        debug_assert!(ev.time >= end_time, "kernel time went backwards");
+                        end_time = end_time.max(ev.time);
+                        k.events_processed += 1;
+                        if let Some(trace) = &mut k.trace {
+                            trace.push(TraceEntry::from_event(&ev));
+                        }
+                        Self::apply_event(&mut k, ev)
+                    }
+                }
+            };
+            // If the event resumed a process, run it until it yields/exits.
+            if let Some(pid) = action {
+                match self.ctrl_rx.recv().expect("all process threads vanished") {
+                    Ctrl::Yielded(_) => {}
+                    Ctrl::Exited(xpid, panicked) => {
+                        let mut k = self.kernel.lock();
+                        let slot = &mut k.procs[xpid];
+                        slot.status = Status::Exited;
+                        slot.panicked = panicked;
+                        if !slot.daemon {
+                            live_primary -= 1;
+                        }
+                        let name = slot.name.clone();
+                        drop(k);
+                        if panicked {
+                            break Err(SimError::ProcessPanicked { pid: xpid, name });
+                        }
+                        if live_primary == 0 {
+                            break Ok(());
+                        }
+                    }
+                }
+                let _ = pid; // pid only used for debugging
+            }
+        };
+
+        // Stop remaining processes (daemons, or everyone on error).
+        self.stop_remaining();
+        let join_err = self.join_threads();
+
+        let mut k = self.kernel.lock();
+        let report = SimReport {
+            end_time,
+            proc_clocks: k.procs.iter().map(|p| (p.name.clone(), p.clock)).collect(),
+            events_processed: k.events_processed,
+            trace: k.trace.take(),
+        };
+        drop(k);
+
+        match result {
+            Ok(()) => {
+                if let Some(e) = join_err {
+                    return Err(e);
+                }
+                Ok(report)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Apply a popped event to the kernel. Returns `Some(pid)` if a process
+    /// was resumed and the engine must wait for it to yield.
+    fn apply_event(k: &mut Kernel<M>, ev: Event<M>) -> Option<Pid> {
+        match ev.kind {
+            EventKind::Wake { pid, gen } => {
+                let slot = &k.procs[pid];
+                if slot.gen != gen || slot.status == Status::Exited || slot.status == Status::Running {
+                    return None; // stale wake
+                }
+                match slot.status {
+                    Status::Sleeping => Some(Self::resume(k, pid, ev.time, false)),
+                    Status::Polling { deadline } => {
+                        if !k.procs[pid].mailbox.is_empty() {
+                            Some(Self::resume(k, pid, ev.time, false))
+                        } else if deadline == Some(ev.time) {
+                            // Zero-length timeout: the checkpoint *is* the
+                            // deadline.
+                            Some(Self::resume(k, pid, ev.time, true))
+                        } else {
+                            k.procs[pid].status = Status::Waiting { deadline };
+                            None
+                        }
+                    }
+                    Status::Waiting { deadline } => {
+                        // Only the deadline wake is still live for a waiter.
+                        debug_assert_eq!(deadline, Some(ev.time));
+                        Some(Self::resume(k, pid, ev.time, true))
+                    }
+                    Status::Running | Status::Exited => None,
+                }
+            }
+            EventKind::Deliver { dst, env } => {
+                let slot = &mut k.procs[dst];
+                if slot.status == Status::Exited {
+                    return None; // message to a dead process is dropped
+                }
+                slot.mailbox.push_back(env);
+                match slot.status {
+                    Status::Waiting { .. } => Some(Self::resume(k, dst, ev.time, false)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn resume(k: &mut Kernel<M>, pid: Pid, time: SimTime, timed_out: bool) -> Pid {
+        let slot = &mut k.procs[pid];
+        debug_assert!(slot.clock <= time, "process resumed into its past");
+        slot.gen += 1; // invalidate any other pending wakes
+        slot.status = Status::Running;
+        slot.clock = time;
+        slot.resume_tx
+            .send(Resume::Go { time, timed_out })
+            .expect("process thread vanished");
+        pid
+    }
+
+    fn stop_remaining(&mut self) {
+        // Every remaining process is blocked (none can be Running here).
+        // Send Stop; a stopped process may yield a few more times while
+        // unwinding through nested calls, so keep answering Stop until it
+        // exits.
+        let pending: Vec<Pid> = {
+            let k = self.kernel.lock();
+            k.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.status != Status::Exited)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut outstanding = pending.len();
+        {
+            let k = self.kernel.lock();
+            for &pid in &pending {
+                let _ = k.procs[pid].resume_tx.send(Resume::Stop);
+            }
+        }
+        // Drain control messages until all stopped processes have exited.
+        let mut fuel: u64 = 1_000_000;
+        while outstanding > 0 && fuel > 0 {
+            fuel -= 1;
+            match self.ctrl_rx.recv() {
+                Ok(Ctrl::Exited(pid, panicked)) => {
+                    let mut k = self.kernel.lock();
+                    k.procs[pid].status = Status::Exited;
+                    k.procs[pid].panicked = panicked;
+                    outstanding -= 1;
+                }
+                Ok(Ctrl::Yielded(pid)) => {
+                    // A stopping process yielded again; answer Stop again.
+                    let k = self.kernel.lock();
+                    let _ = k.procs[pid].resume_tx.send(Resume::Stop);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn join_threads(&mut self) -> Option<SimError> {
+        let mut err = None;
+        for (pid, h) in self.threads.iter_mut().enumerate() {
+            if let Some(h) = h.take() {
+                if h.join().is_err() && err.is_none() {
+                    let name = self.kernel.lock().procs[pid].name.clone();
+                    err = Some(SimError::ProcessPanicked { pid, name });
+                }
+            }
+        }
+        err
+    }
+}
+
+impl<M: Send + 'static> Drop for Sim<M> {
+    /// Stop and join any process threads still alive (covers simulations
+    /// that are dropped without being run; after `run` this is a no-op).
+    fn drop(&mut self) {
+        {
+            let k = self.kernel.lock();
+            for p in &k.procs {
+                if p.status != Status::Exited {
+                    let _ = p.resume_tx.send(Resume::Stop);
+                }
+            }
+        }
+        // Answer any further yields from unwinding processes with Stop.
+        loop {
+            match self.ctrl_rx.try_recv() {
+                Ok(Ctrl::Yielded(pid)) => {
+                    let k = self.kernel.lock();
+                    let _ = k.procs[pid].resume_tx.send(Resume::Stop);
+                }
+                Ok(Ctrl::Exited(..)) => {}
+                Err(_) => {
+                    if self.threads.iter().all(|t| t.is_none()) {
+                        break;
+                    }
+                    // Join whatever we can; threads answered with Stop will
+                    // exit promptly.
+                    let mut progressed = false;
+                    for h in self.threads.iter_mut() {
+                        if let Some(handle) = h.take() {
+                            if handle.is_finished() {
+                                let _ = handle.join();
+                                progressed = true;
+                            } else {
+                                *h = Some(handle);
+                            }
+                        }
+                    }
+                    if !progressed {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sends `Exited` when a process function unwinds.
+struct ExitGuard {
+    pid: Pid,
+    ctrl_tx: Sender<Ctrl>,
+    armed: bool,
+}
+
+impl ExitGuard {
+    fn disarm_and_exit(mut self) {
+        self.armed = false;
+        let _ = self.ctrl_tx.send(Ctrl::Exited(self.pid, false));
+    }
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.ctrl_tx.send(Ctrl::Exited(self.pid, true));
+        }
+    }
+}

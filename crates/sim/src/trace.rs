@@ -1,0 +1,29 @@
+//! Event traces for determinism testing.
+
+use crate::engine::{Event, EventKind, Pid};
+use crate::time::SimTime;
+
+/// A compact record of one processed kernel event. Two runs of the same
+/// simulation must produce identical traces; the determinism tests rely on
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Kernel sequence number (assigned at push, so also deterministic).
+    pub seq: u64,
+    /// Affected process.
+    pub pid: Pid,
+    /// True for a message delivery, false for a wake.
+    pub is_delivery: bool,
+}
+
+impl TraceEntry {
+    pub(crate) fn from_event<M>(ev: &Event<M>) -> Self {
+        let (pid, is_delivery) = match &ev.kind {
+            EventKind::Wake { pid, .. } => (*pid, false),
+            EventKind::Deliver { dst, .. } => (*dst, true),
+        };
+        TraceEntry { time: ev.time, seq: ev.seq, pid, is_delivery }
+    }
+}

@@ -1,0 +1,20 @@
+//! # repseq-stats — section-tagged execution statistics
+//!
+//! The evaluation tables of the PPoPP'01 paper (Tables 1–4) split every
+//! measurement by *program section*: time, messages, diff traffic, diff
+//! requests, page faults and average response times are reported separately
+//! for the sequential and the parallel sections of each application. This
+//! crate is the registry those numbers come from.
+//!
+//! The runtime marks the global program phase with [`Stats::set_section`]
+//! (phases are barrier-separated, so a single global tag is exact); the
+//! network layer reports every frame with [`Stats::on_message`]; the DSM
+//! layer reports page faults, diff requests and request completions. The
+//! bench harness takes a [`StatsSnapshot`] at the end of a run and formats
+//! the paper's table rows from it.
+
+mod registry;
+mod snapshot;
+
+pub use registry::{MsgClass, NodeId, Section, Stats, StatsRef};
+pub use snapshot::{NodeSnapshot, SectionAgg, StatsSnapshot};

@@ -1,0 +1,20 @@
+//! # repseq — contention elimination by replicated sequential execution
+//!
+//! A reproduction of *"Contention Elimination by Replication of Sequential
+//! Sections in Distributed Shared Memory Programs"* (Lu, Cox, Zwaenepoel —
+//! PPoPP 2001) as a Rust workspace: a deterministic cluster simulator, a
+//! TreadMarks-style lazy-release-consistency software DSM, the paper's
+//! replicated-sequential-execution + flow-controlled-multicast technique,
+//! an OpenMP/NOW-style fork-join runtime, and the two evaluation
+//! applications (Barnes-Hut and an Ilink-like genetic-linkage workload).
+//!
+//! This facade crate re-exports the sub-crates under stable names; the
+//! examples and integration tests at the repository root use it. See
+//! `README.md` for a tour and `DESIGN.md` for the substitution rationale.
+
+pub use repseq_apps as apps;
+pub use repseq_core as core;
+pub use repseq_dsm as dsm;
+pub use repseq_net as net;
+pub use repseq_sim as sim;
+pub use repseq_stats as stats;
