@@ -17,8 +17,8 @@
 pub mod plummer;
 pub mod tree;
 
-use repseq_core::{Stopped, Team, Worker};
 use repseq_core::sched::weighted_segments;
+use repseq_core::{Stopped, Team, Worker};
 use repseq_dsm::{ShArray, ShVar};
 use repseq_sim::Dur;
 
@@ -199,8 +199,7 @@ impl BarnesHut {
                 h.order.read_range(nd, lo, &mut my_order)?;
                 for &b in &my_order {
                     let b = b as usize;
-                    let (acc, inter) =
-                        force_on(&cells, n, &pos, &mass, b, cfgq.theta, cfgq.eps2);
+                    let (acc, inter) = force_on(&cells, n, &pos, &mass, b, cfgq.theta, cfgq.eps2);
                     nd.charge(Dur::from_secs_f64(inter as f64 * cfgq.interaction_ns * 1e-9));
                     h.acc.set(nd, b, acc)?;
                     h.work.set(nd, b, inter as f64)?;

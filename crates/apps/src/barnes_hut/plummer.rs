@@ -92,10 +92,8 @@ mod tests {
     #[test]
     fn mass_is_centrally_concentrated() {
         let bodies = plummer_model(4000, 11);
-        let inside: usize = bodies
-            .iter()
-            .filter(|b| b.pos.iter().map(|x| x * x).sum::<f64>() < 1.0)
-            .count();
+        let inside: usize =
+            bodies.iter().filter(|b| b.pos.iter().map(|x| x * x).sum::<f64>() < 1.0).count();
         // The Plummer profile has ~35% of mass within the scale radius.
         let frac = inside as f64 / 4000.0;
         assert!((0.2..0.5).contains(&frac), "central fraction {frac}");

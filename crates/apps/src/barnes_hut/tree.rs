@@ -34,13 +34,7 @@ pub struct Cell {
 
 impl Default for Cell {
     fn default() -> Self {
-        Cell {
-            children: [CHILD_EMPTY; 8],
-            com: [0.0; 3],
-            mass: 0.0,
-            center: [0.0; 3],
-            half: 0.0,
-        }
+        Cell { children: [CHILD_EMPTY; 8], com: [0.0; 3], mass: 0.0, center: [0.0; 3], half: 0.0 }
     }
 }
 
@@ -122,16 +116,9 @@ impl Octree {
         if n == 0 {
             return Octree { cells, n_bodies: 0, stats };
         }
-        let center = [
-            (lo[0] + hi[0]) * 0.5,
-            (lo[1] + hi[1]) * 0.5,
-            (lo[2] + hi[2]) * 0.5,
-        ];
-        let half = (0..3)
-            .map(|d| (hi[d] - lo[d]) * 0.5)
-            .fold(0.0f64, f64::max)
-            .max(1e-12)
-            * 1.0000001; // slack so boundary bodies stay inside
+        let center = [(lo[0] + hi[0]) * 0.5, (lo[1] + hi[1]) * 0.5, (lo[2] + hi[2]) * 0.5];
+        let half =
+            (0..3).map(|d| (hi[d] - lo[d]) * 0.5).fold(0.0f64, f64::max).max(1e-12) * 1.0000001; // slack so boundary bodies stay inside
 
         let root = Cell { center, half, ..Cell::default() };
         cells.push(root);
@@ -290,11 +277,7 @@ pub fn force_on(
                     Child::Empty => {}
                     Child::Body(b) => {
                         if b != body {
-                            let dxb = [
-                                pos[b][0] - p[0],
-                                pos[b][1] - p[1],
-                                pos[b][2] - p[2],
-                            ];
+                            let dxb = [pos[b][0] - p[0], pos[b][1] - p[1], pos[b][2] - p[2]];
                             let d2b = dxb[0] * dxb[0] + dxb[1] * dxb[1] + dxb[2] * dxb[2];
                             interactions += 1;
                             add_kick(&mut acc, mass[b], &dxb, d2b, eps2);
@@ -318,12 +301,7 @@ fn add_kick(acc: &mut [f64; 3], m: f64, dx: &[f64; 3], d2: f64, eps2: f64) {
 }
 
 /// Direct O(N²) reference summation (tests and accuracy checks).
-pub fn force_direct(
-    pos: &[[f64; 3]],
-    mass: &[f64],
-    body: usize,
-    eps2: f64,
-) -> [f64; 3] {
+pub fn force_direct(pos: &[[f64; 3]], mass: &[f64], body: usize, eps2: f64) -> [f64; 3] {
     let mut acc = [0.0f64; 3];
     let p = pos[body];
     for b in 0..pos.len() {
@@ -368,8 +346,7 @@ mod tests {
         let total: f64 = mass.iter().sum();
         assert!((t.cells[0].mass - total).abs() < 1e-9 * total);
         for d in 0..3 {
-            let expect: f64 =
-                pos.iter().zip(&mass).map(|(p, m)| p[d] * m).sum::<f64>() / total;
+            let expect: f64 = pos.iter().zip(&mass).map(|(p, m)| p[d] * m).sum::<f64>() / total;
             assert!((t.cells[0].com[d] - expect).abs() < 1e-9);
         }
     }

@@ -132,10 +132,8 @@ pub fn make_pedigree(cfg: &IlinkConfig) -> Vec<Family> {
                     }
                 })
                 .collect();
-            let nz_start = nnz
-                .iter()
-                .map(|&z| (next() as usize) % (cfg.genarray_len - z + 1))
-                .collect();
+            let nz_start =
+                nnz.iter().map(|&z| (next() as usize) % (cfg.genarray_len - z + 1)).collect();
             Family { members, nnz, nz_start }
         })
         .collect()
@@ -277,10 +275,7 @@ impl Ilink {
                                 visited += 1;
                             }
                             nd.charge(Dur::from_secs_f64(
-                                visited as f64
-                                    * famp.members as f64
-                                    * cfgq.entry_ns
-                                    * 1e-9,
+                                visited as f64 * famp.members as f64 * cfgq.entry_ns * 1e-9,
                             ));
                             Ok(())
                         })?;
@@ -299,11 +294,8 @@ impl Ilink {
                             // node count.
                             let sum: f64 = vals.iter().sum();
                             let lik = h.likelihood.get(nd)?;
-                            h.likelihood
-                                .set(nd, lik + sum / (nnz as f64 * famq.members as f64))?;
-                            nd.charge(Dur::from_secs_f64(
-                                nnz as f64 * cfgm.merge_ns * 1e-9,
-                            ));
+                            h.likelihood.set(nd, lik + sum / (nnz as f64 * famq.members as f64))?;
+                            nd.charge(Dur::from_secs_f64(nnz as f64 * cfgm.merge_ns * 1e-9));
                             Ok(())
                         })?;
                     } else {
@@ -319,8 +311,7 @@ impl Ilink {
                             h.bank.write_range(nd, target * len + start, &vals)?;
                             let sum: f64 = vals.iter().sum();
                             let lik = h.likelihood.get(nd)?;
-                            h.likelihood
-                                .set(nd, lik + sum / (nnz as f64 * famq.members as f64))?;
+                            h.likelihood.set(nd, lik + sum / (nnz as f64 * famq.members as f64))?;
                             nd.charge(Dur::from_secs_f64(
                                 nnz as f64 * famq.members as f64 * cfgq.entry_ns * 1e-9,
                             ));

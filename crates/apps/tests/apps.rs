@@ -126,8 +126,7 @@ fn ilink_modes_agree_and_optimized_wins() {
 #[test]
 fn contention_kernel_modes_agree() {
     let run = |mode| {
-        let mut rt =
-            Runtime::new(RunConfig { cluster: ClusterConfig::paper(4), seq_mode: mode });
+        let mut rt = Runtime::new(RunConfig { cluster: ClusterConfig::paper(4), seq_mode: mode });
         let k = ContentionKernel::setup(&mut rt, KernelConfig::default());
         let stats = rt.stats();
         let out = std::sync::Arc::new(parking_lot::Mutex::new(0u64));

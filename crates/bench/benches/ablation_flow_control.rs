@@ -15,7 +15,11 @@ use repseq_bench::*;
 use repseq_core::{RunConfig, Runtime, SeqMode};
 use repseq_dsm::{ClusterConfig, FlowControl};
 
-fn run_bh_fc(n: usize, cfg: repseq_apps::barnes_hut::BhConfig, fc: FlowControl) -> RunOutcome<repseq_apps::barnes_hut::BhResult> {
+fn run_bh_fc(
+    n: usize,
+    cfg: repseq_apps::barnes_hut::BhConfig,
+    fc: FlowControl,
+) -> RunOutcome<repseq_apps::barnes_hut::BhResult> {
     let mut cluster = ClusterConfig::paper(n);
     cluster.dsm.flow_control = fc;
     let mut rt = Runtime::new(RunConfig { cluster, seq_mode: SeqMode::Replicated });
@@ -33,7 +37,11 @@ fn run_bh_fc(n: usize, cfg: repseq_apps::barnes_hut::BhConfig, fc: FlowControl) 
     RunOutcome { result, snap: stats.snapshot() }
 }
 
-fn run_ilink_fc(n: usize, cfg: repseq_apps::ilink::IlinkConfig, fc: FlowControl) -> RunOutcome<repseq_apps::ilink::IlinkResult> {
+fn run_ilink_fc(
+    n: usize,
+    cfg: repseq_apps::ilink::IlinkConfig,
+    fc: FlowControl,
+) -> RunOutcome<repseq_apps::ilink::IlinkResult> {
     let mut cluster = ClusterConfig::paper(n);
     cluster.dsm.flow_control = fc;
     let mut rt = Runtime::new(RunConfig { cluster, seq_mode: SeqMode::Replicated });
@@ -108,8 +116,10 @@ fn main() {
         bh_con.snap.seq_agg().messages <= bh_ser.snap.seq_agg().messages
             && il_con.snap.seq_agg().messages <= il_ser.snap.seq_agg().messages,
     );
-    let bh_gain = bh_ser.snap.seq_time().as_secs_f64() / bh_con.snap.seq_time().as_secs_f64().max(1e-12);
-    let il_gain = il_ser.snap.seq_time().as_secs_f64() / il_con.snap.seq_time().as_secs_f64().max(1e-12);
+    let bh_gain =
+        bh_ser.snap.seq_time().as_secs_f64() / bh_con.snap.seq_time().as_secs_f64().max(1e-12);
+    let il_gain =
+        il_ser.snap.seq_time().as_secs_f64() / il_con.snap.seq_time().as_secs_f64().max(1e-12);
     println!(
         "  conjectured §8 improvement bound: sequential sections {bh_gain:.2}x (Barnes-Hut), {il_gain:.2}x (Ilink)"
     );

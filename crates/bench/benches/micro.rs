@@ -14,25 +14,70 @@ use repseq_dsm::{Diff, Vc};
 fn bench_diff(c: &mut Criterion) {
     let page_size = 4096;
     let twin = vec![0u8; page_size];
+    // Sparse: isolated dirty bytes, the Barnes-Hut body-update shape.
     let mut sparse = twin.clone();
     for i in (0..page_size).step_by(97) {
         sparse[i] = 1;
     }
+    // Dense: every byte modified, the Ilink genarray-rewrite shape.
     let mut dense = twin.clone();
     for (i, b) in dense.iter_mut().enumerate() {
         *b = (i % 251) as u8 + 1;
     }
+    // The chunked hot path vs the byte-loop baseline it replaced.
     c.bench_function("diff_create_sparse_page", |b| {
         b.iter(|| Diff::create(black_box(&twin), black_box(&sparse)))
     });
+    c.bench_function("diff_create_sparse_page_scalar", |b| {
+        b.iter(|| Diff::create_scalar(black_box(&twin), black_box(&sparse)))
+    });
     c.bench_function("diff_create_dense_page", |b| {
         b.iter(|| Diff::create(black_box(&twin), black_box(&dense)))
+    });
+    c.bench_function("diff_create_dense_page_scalar", |b| {
+        b.iter(|| Diff::create_scalar(black_box(&twin), black_box(&dense)))
+    });
+    // The whole-page == fast path (unchanged twinned page).
+    let clean = twin.clone();
+    c.bench_function("diff_create_clean_page", |b| {
+        b.iter(|| Diff::create(black_box(&twin), black_box(&clean)))
     });
     let diff = Diff::create(&twin, &dense);
     c.bench_function("diff_apply_dense_page", |b| {
         b.iter_batched(
             || twin.clone(),
             |mut page| diff.apply(black_box(&mut page)),
+            BatchSize::SmallInput,
+        )
+    });
+    // Fused multi-diff apply (one pass per page) vs one sequential pass
+    // per diff: a chain of 8 dense page versions, as a fault after 8
+    // missed intervals of an iterative application would fetch.
+    let mut chain = Vec::new();
+    let mut cur = twin.clone();
+    for k in 0..8u8 {
+        let mut next = cur.clone();
+        for b in &mut next {
+            *b = b.wrapping_add(2 * k + 1);
+        }
+        chain.push(Diff::create(&cur, &next));
+        cur = next;
+    }
+    c.bench_function("diff_apply_fused_8", |b| {
+        b.iter_batched(
+            || twin.clone(),
+            |mut page| Diff::apply_fused(black_box(&chain), &mut page),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("diff_apply_sequential_8", |b| {
+        b.iter_batched(
+            || twin.clone(),
+            |mut page| {
+                for d in black_box(&chain) {
+                    d.apply(&mut page).unwrap();
+                }
+            },
             BatchSize::SmallInput,
         )
     });
@@ -55,7 +100,9 @@ fn bench_vc(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    c.bench_function("vc_dominated_by_32", |b| b.iter(|| black_box(&a).dominated_by(black_box(&bb))));
+    c.bench_function("vc_dominated_by_32", |b| {
+        b.iter(|| black_box(&a).dominated_by(black_box(&bb)))
+    });
 }
 
 fn bench_tree(c: &mut Criterion) {

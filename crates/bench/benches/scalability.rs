@@ -34,7 +34,12 @@ fn main() {
         let (to, tr) = (o.snap.total_time.as_secs_f64(), r.snap.total_time.as_secs_f64());
         println!(
             "{:<12} {:>6} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
-            "barnes-hut", n, to, tr, bh_base / to, bh_base / tr
+            "barnes-hut",
+            n,
+            to,
+            tr,
+            bh_base / to,
+            bh_base / tr
         );
         widening.push(to / tr);
     }
@@ -46,7 +51,12 @@ fn main() {
         let (to, tr) = (o.snap.total_time.as_secs_f64(), r.snap.total_time.as_secs_f64());
         println!(
             "{:<12} {:>6} {:>14.2} {:>14.2} {:>12.2} {:>12.2}",
-            "ilink", n, to, tr, il_base / to, il_base / tr
+            "ilink",
+            n,
+            to,
+            tr,
+            il_base / to,
+            il_base / tr
         );
     }
 

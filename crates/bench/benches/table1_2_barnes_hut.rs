@@ -13,6 +13,7 @@ fn main() {
     let scale = Scale::from_env();
     let n = nodes_from_env();
     let cfg = bh_config(scale);
+    repseq_stats::host::reset();
     println!(
         "Barnes-Hut: {} bodies, {} timesteps, {} nodes ({scale:?} scale)",
         cfg.n_bodies, cfg.timesteps, n
@@ -57,12 +58,7 @@ fn main() {
         [Some(8_479.0), Some(3_116.0)],
         [Some(3.34), Some(0.98)],
     ];
-    print_stats_table(
-        "Table 2: Barnes-Hut execution statistics",
-        &orig.snap,
-        &opt.snap,
-        &paper_t2,
-    );
+    print_stats_table("Table 2: Barnes-Hut execution statistics", &orig.snap, &opt.snap, &paper_t2);
 
     println!("\nShape checks against the paper:");
     let t = |s: &repseq_stats::StatsSnapshot| s.total_time.as_secs_f64();
@@ -88,4 +84,6 @@ fn main() {
         "Sequential-section messages grow under replication",
         opt.snap.seq_agg().messages > orig.snap.seq_agg().messages,
     );
+
+    print_host_counters("all three Barnes-Hut runs", &repseq_stats::host::snapshot());
 }

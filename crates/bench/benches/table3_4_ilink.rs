@@ -12,6 +12,7 @@ fn main() {
     let scale = Scale::from_env();
     let n = nodes_from_env();
     let cfg = ilink_config(scale);
+    repseq_stats::host::reset();
     println!(
         "Ilink: {} families, genarrays of {}, {} iterations, {} nodes ({scale:?} scale)",
         cfg.n_families, cfg.genarray_len, cfg.iterations, n
@@ -93,4 +94,6 @@ fn main() {
         let b = opt.snap.seq_agg().diff_bytes as f64;
         b < a * 3.0 && a < b * 3.0
     });
+
+    print_host_counters("all three Ilink runs", &repseq_stats::host::snapshot());
 }

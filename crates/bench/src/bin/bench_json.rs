@@ -1,0 +1,243 @@
+//! Emit the benchmark-trajectory artifacts `BENCH_diff.json` (diff-engine
+//! micro-benchmarks: chunked vs byte-loop baseline, fused vs sequential
+//! apply) and `BENCH_table1.json` (a Table-1-shaped Barnes-Hut run with
+//! simulated times plus the host diff-engine counters).
+//!
+//! Run with `cargo run --release -p repseq-bench --bin bench_json` from the
+//! repository root; the files are written to the current directory. The
+//! checked-in copies record the trajectory at commit time — refresh them
+//! whenever the data plane changes (see DESIGN.md §Performance).
+//!
+//! `REPSEQ_BENCH_SCALE=tiny|default` and `REPSEQ_BENCH_NODES=<n>` size the
+//! table run (defaults: tiny, 8 — small enough to regenerate in seconds).
+//! Timing is hand-rolled (`std::time::Instant`, median of 15 samples)
+//! because binaries cannot see dev-dependencies like the criterion harness.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use repseq_apps::barnes_hut::BhResult;
+use repseq_bench::{bh_config, run_barnes, RunOutcome, Scale};
+use repseq_core::SeqMode;
+use repseq_dsm::Diff;
+use repseq_stats::host;
+
+const PAGE: usize = 4096;
+const SAMPLES: usize = 15;
+
+/// Median ns/iteration of `f`, auto-calibrated so each sample runs ≥2 ms.
+fn bench_ns(mut f: impl FnMut()) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_nanos() >= 2_000_000 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+struct Case {
+    name: &'static str,
+    baseline_ns: f64,
+    chunked_ns: f64,
+}
+
+fn diff_cases() -> Vec<Case> {
+    let twin = vec![0u8; PAGE];
+    let mut sparse = twin.clone();
+    for i in (0..PAGE).step_by(97) {
+        sparse[i] = 1;
+    }
+    let mut dense = twin.clone();
+    for (i, b) in dense.iter_mut().enumerate() {
+        *b = (i % 251) as u8 + 1;
+    }
+    let clean = twin.clone();
+    let mut out = Vec::new();
+    for (name, page) in
+        [("create_sparse", &sparse), ("create_dense", &dense), ("create_clean", &clean)]
+    {
+        out.push(Case {
+            name,
+            baseline_ns: bench_ns(|| {
+                std::hint::black_box(Diff::create_scalar(&twin, page));
+            }),
+            chunked_ns: bench_ns(|| {
+                std::hint::black_box(Diff::create(&twin, page));
+            }),
+        });
+    }
+    // Fused vs sequential apply of 8-diff chains. "Overlap" is the Ilink
+    // fault shape — consecutive intervals rewrote the whole page, so every
+    // earlier diff is fully shadowed and fused apply copies each byte
+    // once instead of eight times. "Scattered" is the worst case for the
+    // bookkeeping: small disjoint runs where sequential apply is already
+    // one cheap word move per run.
+    for (name, chain) in [
+        ("apply_8_chain_overlap", overlap_chain(&twin)),
+        ("apply_8_chain_scattered", scattered_chain(&twin)),
+    ] {
+        let mut scratch = twin.clone();
+        out.push(Case {
+            name,
+            baseline_ns: bench_ns(|| {
+                scratch.copy_from_slice(&twin);
+                for d in &chain {
+                    d.apply(&mut scratch).unwrap();
+                }
+                std::hint::black_box(&scratch);
+            }),
+            chunked_ns: bench_ns(|| {
+                scratch.copy_from_slice(&twin);
+                Diff::apply_fused(&chain, &mut scratch).unwrap();
+                std::hint::black_box(&scratch);
+            }),
+        });
+    }
+    out
+}
+
+/// Eight diffs that each rewrite the entire page (dense iterative
+/// updates, the Ilink shape).
+fn overlap_chain(twin: &[u8]) -> Vec<Diff> {
+    let mut chain = Vec::new();
+    let mut cur = twin.to_vec();
+    for k in 0..8u8 {
+        let mut next = cur.clone();
+        for b in &mut next {
+            *b = b.wrapping_add(2 * k + 1); // odd step: every byte changes
+        }
+        chain.push(Diff::create(&cur, &next));
+        cur = next;
+    }
+    chain
+}
+
+/// Eight diffs with small runs scattered at different offsets (unrelated
+/// sparse writers).
+fn scattered_chain(twin: &[u8]) -> Vec<Diff> {
+    let mut chain = Vec::new();
+    let mut cur = twin.to_vec();
+    for k in 0..8u8 {
+        let mut next = cur.clone();
+        for i in ((k as usize * 13)..next.len()).step_by(97) {
+            next[i] = next[i].wrapping_add(k + 1);
+        }
+        chain.push(Diff::create(&cur, &next));
+        cur = next;
+    }
+    chain
+}
+
+fn write_bench_diff(cases: &[Case]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"diff_engine\",\n");
+    let _ = writeln!(s, "  \"page_size\": {PAGE},");
+    s.push_str("  \"unit\": \"ns_per_op_median\",\n");
+    s.push_str(
+        "  \"note\": \"baseline = byte-loop create (or sequential multi-apply); chunked = u64-chunked create (or fused apply)\",\n",
+    );
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.1}, \"chunked_ns\": {:.1}, \"speedup\": {:.2}}}{}",
+            c.name,
+            c.baseline_ns,
+            c.chunked_ns,
+            c.baseline_ns / c.chunked_ns,
+            if i + 1 < cases.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_diff.json", s)
+}
+
+fn write_bench_table1(
+    scale: Scale,
+    n: usize,
+    seq: &RunOutcome<BhResult>,
+    orig: &RunOutcome<BhResult>,
+    opt: &RunOutcome<BhResult>,
+    host: &host::HostCounters,
+) -> std::io::Result<()> {
+    let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"table1_barnes_hut\",\n");
+    let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(s, "  \"nodes\": {n},");
+    s.push_str("  \"simulated\": {\n");
+    let _ = writeln!(s, "    \"sequential_time_s\": {:.6},", t(seq));
+    let _ = writeln!(s, "    \"original_time_s\": {:.6},", t(orig));
+    let _ = writeln!(s, "    \"optimized_time_s\": {:.6},", t(opt));
+    let _ = writeln!(s, "    \"original_speedup\": {:.3},", t(seq) / t(orig));
+    let _ = writeln!(s, "    \"optimized_speedup\": {:.3}", t(seq) / t(opt));
+    s.push_str("  },\n");
+    s.push_str("  \"host_diff_engine\": {\n");
+    let _ = writeln!(s, "    \"diff_create_calls\": {},", host.diff_create_calls);
+    let _ = writeln!(s, "    \"diff_create_ns\": {},", host.diff_create_ns);
+    let _ = writeln!(s, "    \"diff_create_bytes_scanned\": {},", host.diff_create_bytes);
+    let _ = writeln!(s, "    \"diff_apply_calls\": {},", host.diff_apply_calls);
+    let _ = writeln!(s, "    \"diff_apply_ns\": {},", host.diff_apply_ns);
+    let _ = writeln!(s, "    \"diff_apply_bytes_copied\": {},", host.diff_apply_bytes);
+    let _ = writeln!(s, "    \"twin_pool_hits\": {},", host.twin_pool_hits);
+    let _ = writeln!(s, "    \"twin_pool_misses\": {}", host.twin_pool_misses);
+    s.push_str("  }\n}\n");
+    std::fs::write("BENCH_table1.json", s)
+}
+
+fn main() {
+    println!("diff-engine micro-benchmarks ({SAMPLES}-sample medians)...");
+    let cases = diff_cases();
+    for c in &cases {
+        println!(
+            "  {:<20} baseline {:>9.1} ns   chunked {:>9.1} ns   speedup {:>5.2}x",
+            c.name,
+            c.baseline_ns,
+            c.chunked_ns,
+            c.baseline_ns / c.chunked_ns
+        );
+    }
+    write_bench_diff(&cases).expect("writing BENCH_diff.json");
+    println!("wrote BENCH_diff.json");
+
+    let scale = match std::env::var("REPSEQ_BENCH_SCALE").as_deref() {
+        Ok("default") => Scale::Default,
+        Ok("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    let n: usize =
+        std::env::var("REPSEQ_BENCH_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cfg = bh_config(scale);
+    println!(
+        "Barnes-Hut table run: {} bodies, {} timesteps, {n} nodes ({scale:?} scale)...",
+        cfg.n_bodies, cfg.timesteps
+    );
+    host::reset();
+    let seq = run_barnes(SeqMode::MasterOnly, 1, cfg.clone());
+    let orig = run_barnes(SeqMode::MasterOnly, n, cfg.clone());
+    let opt = run_barnes(SeqMode::Replicated, n, cfg);
+    assert_eq!(seq.result, orig.result, "systems must agree on the physics");
+    assert_eq!(seq.result, opt.result, "systems must agree on the physics");
+    let counters = host::snapshot();
+    repseq_bench::print_host_counters("table run", &counters);
+    write_bench_table1(scale, n, &seq, &orig, &opt, &counters).expect("writing BENCH_table1.json");
+    println!("wrote BENCH_table1.json");
+}

@@ -123,17 +123,16 @@ pub fn print_time_table(
         ("Total time (sec.)", [seq_total, secs(orig.total_time), secs(opt.total_time)]),
         (
             "Total speedup",
-            [
-                1.0,
-                seq_total / secs(orig.total_time),
-                seq_total / secs(opt.total_time),
-            ],
+            [1.0, seq_total / secs(orig.total_time), seq_total / secs(opt.total_time)],
         ),
         (
             "Sequential time (sec.)",
             [secs(seq.seq_time()), secs(orig.seq_time()), secs(opt.seq_time())],
         ),
-        ("Parallel time (sec.)", [secs(seq.par_time()), secs(orig.par_time()), secs(opt.par_time())]),
+        (
+            "Parallel time (sec.)",
+            [secs(seq.par_time()), secs(orig.par_time()), secs(opt.par_time())],
+        ),
         (
             "Parallel speedup",
             [
@@ -223,4 +222,38 @@ pub fn print_stats_table(
 /// printed as reproduced/not.
 pub fn shape_check(label: &str, holds: bool) {
     println!("  [{}] {label}", if holds { "ok" } else { "MISMATCH" });
+}
+
+/// Print the host-side diff-engine counters (`repseq_stats::host`)
+/// accumulated across the runs: the wall-clock time the simulator itself
+/// spent creating and applying diffs — as opposed to the *simulated* times
+/// in the tables above — plus the page allocations the twin pool avoided.
+pub fn print_host_counters(title: &str, h: &repseq_stats::HostCounters) {
+    let per = |ns: u64, calls: u64| if calls == 0 { 0.0 } else { ns as f64 / calls as f64 };
+    let rate = |bytes: u64, ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            bytes as f64 / (ns as f64 / 1e9) / 1e9
+        }
+    };
+    println!("\n--- Host diff engine ({title}) ---");
+    println!(
+        "diff create: {:>10} calls  {:>10.1} ns/call  {:>8.2} GB/s scanned ({} bytes)",
+        h.diff_create_calls,
+        per(h.diff_create_ns, h.diff_create_calls),
+        rate(h.diff_create_bytes, h.diff_create_ns),
+        h.diff_create_bytes,
+    );
+    println!(
+        "diff apply:  {:>10} calls  {:>10.1} ns/call  {:>8.2} GB/s copied  ({} bytes)",
+        h.diff_apply_calls,
+        per(h.diff_apply_ns, h.diff_apply_calls),
+        rate(h.diff_apply_bytes, h.diff_apply_ns),
+        h.diff_apply_bytes,
+    );
+    println!(
+        "twin pool:   {:>10} hits   {:>10} misses  ({} page allocations avoided)",
+        h.twin_pool_hits, h.twin_pool_misses, h.twin_pool_hits,
+    );
 }

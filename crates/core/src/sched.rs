@@ -120,10 +120,7 @@ mod tests {
         for i in 0..n {
             assert!(bounds[i] <= bounds[i + 1]);
             let seg: f64 = weights[bounds[i]..bounds[i + 1]].iter().sum();
-            assert!(
-                seg <= total / n as f64 * 2.0 + 8.0,
-                "segment {i} too heavy: {seg} of {total}"
-            );
+            assert!(seg <= total / n as f64 * 2.0 + 8.0, "segment {i} too heavy: {seg} of {total}");
         }
     }
 

@@ -14,7 +14,8 @@ use repseq_stats::StatsSnapshot;
 /// [sequential: rebuild `tree` from `parts`] →
 /// [parallel: update own slice of `parts` reading the whole `tree`].
 fn mini_app(mode: SeqMode, n: usize, iters: usize) -> (Vec<u64>, StatsSnapshot) {
-    let mut rt = Runtime::new(RunConfig { cluster: repseq_dsm::ClusterConfig::paper(n), seq_mode: mode });
+    let mut rt =
+        Runtime::new(RunConfig { cluster: repseq_dsm::ClusterConfig::paper(n), seq_mode: mode });
     let pages_of_tree = 4usize;
     let tree: ShArray<u64> = rt.alloc_array_page_aligned(pages_of_tree * 512);
     let parts: ShArray<u64> = rt.alloc_array_page_aligned(n * 512);
@@ -128,9 +129,8 @@ fn parallel_for_schedules_cover_iterations() {
         let ok = Arc::new(Mutex::new(false));
         let ok2 = Arc::clone(&ok);
         rt.run(move |team| {
-            let body = move |nd: &repseq_dsm::DsmNode, i: usize| {
-                marks.set(nd, i, (nd.node() + 1) as u32)
-            };
+            let body =
+                move |nd: &repseq_dsm::DsmNode, i: usize| marks.set(nd, i, (nd.node() + 1) as u32);
             if cyclic {
                 team.parallel_for_cyclic(96, body)?;
             } else {
@@ -139,11 +139,7 @@ fn parallel_for_schedules_cover_iterations() {
             let mut all = true;
             for i in 0..96 {
                 let v = marks.get(team.node(), i)?;
-                let expect = if cyclic {
-                    (i % 3 + 1) as u32
-                } else {
-                    (i / 32 + 1) as u32
-                };
+                let expect = if cyclic { (i % 3 + 1) as u32 } else { (i / 32 + 1) as u32 };
                 all &= v == expect;
             }
             *ok2.lock() = all;
@@ -292,8 +288,10 @@ fn measurement_spans_sections() {
 fn parallel_first_program() {
     for mode in [SeqMode::MasterOnly, SeqMode::Replicated] {
         let n = 3;
-        let mut rt =
-            Runtime::new(RunConfig { cluster: repseq_dsm::ClusterConfig::paper(n), seq_mode: mode });
+        let mut rt = Runtime::new(RunConfig {
+            cluster: repseq_dsm::ClusterConfig::paper(n),
+            seq_mode: mode,
+        });
         let a: ShArray<u64> = rt.alloc_array_page_aligned(n);
         let ok = Arc::new(Mutex::new(0u64));
         let ok2 = Arc::clone(&ok);

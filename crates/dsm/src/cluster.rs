@@ -144,9 +144,8 @@ impl Cluster {
         let n = self.cfg.nodes;
         assert_eq!(apps.len(), n, "need exactly one application per node");
         let net = Network::new(self.cfg.net.clone(), Arc::clone(&self.stats));
-        let initial: Arc<HashMap<PageId, Arc<[u8]>>> = Arc::new(
-            self.initial.into_iter().map(|(p, v)| (p, Arc::<[u8]>::from(v))).collect(),
-        );
+        let initial: Arc<HashMap<PageId, Arc<[u8]>>> =
+            Arc::new(self.initial.into_iter().map(|(p, v)| (p, Arc::<[u8]>::from(v))).collect());
         let states: Vec<Arc<Mutex<NodeState>>> = (0..n)
             .map(|i| {
                 Arc::new(Mutex::new(NodeState::new(
@@ -170,9 +169,8 @@ impl Cluster {
             let nic = net.nic(i);
             let st = Arc::clone(state);
             let topo2 = Arc::clone(&topo);
-            let pid = sim.spawn_daemon(&format!("handler{i}"), move |ctx| {
-                handler_main(ctx, nic, st, topo2)
-            });
+            let pid = sim
+                .spawn_daemon(&format!("handler{i}"), move |ctx| handler_main(ctx, nic, st, topo2));
             assert_eq!(pid, topo.handler_pids[i]);
         }
         // Applications: pids n..2n-1.

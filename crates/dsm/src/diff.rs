@@ -2,21 +2,99 @@
 //! computed by comparing the page against its *twin* (the copy saved at the
 //! first write). The multiple-writer protocol merges concurrent writers by
 //! exchanging and applying diffs instead of whole pages (§2.2.2).
+//!
+//! # Representation
+//!
+//! A diff is a sorted list of run descriptors plus **one** packed payload
+//! buffer behind an [`Arc`]. Cloning a diff — which happens every time a
+//! diff is served, cached under another interval key, or multicast —
+//! therefore never copies payload bytes: only the two `Arc` handles are
+//! duplicated. The descriptors record where in the page and where in the
+//! payload each run lives.
+//!
+//! # Hot path
+//!
+//! [`Diff::create`] is the simulator's hottest host-side loop: every write
+//! fault, interval invalidation, and diff request funnels through it. It
+//! compares twin and page in `u64` chunks — skipping equal spans eight
+//! bytes per step and extending differing runs eight bytes per step via a
+//! zero-byte test on the XOR of the chunks — with a whole-page `==` fast
+//! path for the common no-change case and scalar fixup at run boundaries.
+//! The observable result is byte-identical to the scalar reference
+//! [`Diff::create_scalar`]: runs are maximal spans of differing bytes,
+//! sorted, non-overlapping, non-adjacent (proptested below).
 
-/// One run of modified bytes within a page.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DiffRun {
+use std::sync::Arc;
+
+/// One run of modified bytes within a page: a borrowed view into the
+/// diff's shared payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffRun<'a> {
     /// Byte offset within the page.
     pub offset: u32,
     /// The new bytes.
-    pub bytes: Vec<u8>,
+    pub bytes: &'a [u8],
 }
 
+/// Internal run descriptor: `len` bytes at page offset `offset`, stored at
+/// `payload_off` in the packed payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    offset: u32,
+    payload_off: u32,
+    len: u32,
+}
+
+/// A diff run that could not be applied because it falls outside the
+/// target page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffError {
+    /// Length of the page the diff was applied to.
+    pub page_len: usize,
+    /// Number of runs that were skipped.
+    pub bad_runs: usize,
+    /// `(offset, len)` of the first skipped run.
+    pub first_bad: (u32, u32),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} diff run(s) outside a {}-byte page (first: {} bytes at offset {})",
+            self.bad_runs, self.page_len, self.first_bad.1, self.first_bad.0
+        )
+    }
+}
+
+impl std::error::Error for DiffError {}
+
 /// The modifications made to one page, as a sorted list of
-/// non-overlapping, non-adjacent runs.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// non-overlapping, non-adjacent runs over a shared payload buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diff {
-    runs: Vec<DiffRun>,
+    runs: Arc<[Run]>,
+    payload: Arc<[u8]>,
+}
+
+impl Default for Diff {
+    fn default() -> Self {
+        Diff { runs: Arc::new([]), payload: Arc::new([]) }
+    }
+}
+
+/// Word size of the chunked comparison loops.
+const W: usize = std::mem::size_of::<u64>();
+
+#[inline(always)]
+fn load(s: &[u8], i: usize) -> u64 {
+    u64::from_ne_bytes(s[i..i + W].try_into().unwrap())
+}
+
+/// True if any byte of `x` is zero (classic SWAR bit trick).
+#[inline(always)]
+fn has_zero_byte(x: u64) -> bool {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080 != 0
 }
 
 impl Diff {
@@ -25,32 +103,174 @@ impl Diff {
     /// run.
     pub fn create(twin: &[u8], page: &[u8]) -> Diff {
         assert_eq!(twin.len(), page.len(), "twin and page must be the same size");
-        let mut runs = Vec::new();
-        let mut i = 0;
+        // Fast path: the common "twinned but ultimately unchanged" page.
+        // Slice equality is a vectorized memcmp under the hood.
+        if twin == page {
+            return Diff::default();
+        }
         let n = page.len();
+        let mut runs: Vec<Run> = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            // Skip the equal span: whole words, then the word straddling
+            // the first difference byte-by-byte.
+            while i + W <= n && load(twin, i) == load(page, i) {
+                i += W;
+            }
+            while i < n && twin[i] == page[i] {
+                i += 1;
+            }
+            if i >= n {
+                break;
+            }
+            // Extend the differing run: whole words while all eight bytes
+            // differ (the XOR has no zero byte), then byte-by-byte up to
+            // the first equal byte.
+            let start = i;
+            while i + W <= n && !has_zero_byte(load(twin, i) ^ load(page, i)) {
+                i += W;
+            }
+            while i < n && twin[i] != page[i] {
+                i += 1;
+            }
+            runs.push(Run {
+                offset: start as u32,
+                payload_off: payload.len() as u32,
+                len: (i - start) as u32,
+            });
+            payload.extend_from_slice(&page[start..i]);
+        }
+        Diff { runs: runs.into(), payload: payload.into() }
+    }
+
+    /// The scalar reference implementation of [`Diff::create`]: one byte
+    /// at a time. Kept as the equivalence oracle for the chunked path and
+    /// as the baseline the perf harness measures speedups against.
+    pub fn create_scalar(twin: &[u8], page: &[u8]) -> Diff {
+        assert_eq!(twin.len(), page.len(), "twin and page must be the same size");
+        let n = page.len();
+        let mut runs: Vec<Run> = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut i = 0;
         while i < n {
             if twin[i] != page[i] {
                 let start = i;
                 while i < n && twin[i] != page[i] {
                     i += 1;
                 }
-                runs.push(DiffRun { offset: start as u32, bytes: page[start..i].to_vec() });
+                runs.push(Run {
+                    offset: start as u32,
+                    payload_off: payload.len() as u32,
+                    len: (i - start) as u32,
+                });
+                payload.extend_from_slice(&page[start..i]);
             } else {
                 i += 1;
             }
         }
-        Diff { runs }
+        Diff { runs: runs.into(), payload: payload.into() }
     }
 
     /// Apply the diff to a page copy. Idempotent (runs carry absolute
     /// values), so receiving the same diff twice — which the multicast
     /// recovery path can cause — is harmless.
-    pub fn apply(&self, page: &mut [u8]) {
-        for run in &self.runs {
+    ///
+    /// A run falling outside `page` (a corrupted or mis-sized diff, e.g.
+    /// from the multicast recovery path) is skipped whole — never
+    /// partially written — and reported via the returned [`DiffError`];
+    /// all in-bounds runs are still applied.
+    pub fn apply(&self, page: &mut [u8]) -> Result<(), DiffError> {
+        let mut err: Option<DiffError> = None;
+        for run in self.runs.iter() {
             let start = run.offset as usize;
-            let end = start + run.bytes.len();
-            assert!(end <= page.len(), "diff run outside page");
-            page[start..end].copy_from_slice(&run.bytes);
+            let Some(end) = start.checked_add(run.len as usize) else {
+                note_bad(&mut err, page.len(), run);
+                continue;
+            };
+            if end > page.len() {
+                note_bad(&mut err, page.len(), run);
+                continue;
+            }
+            let p = run.payload_off as usize;
+            page[start..end].copy_from_slice(&self.payload[p..p + run.len as usize]);
+        }
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Apply several diffs in order with a single fused pass: each page
+    /// byte is written at most once, by the **last** diff in `diffs` that
+    /// modifies it — observationally identical to applying the diffs
+    /// sequentially (proptested below), but without re-touching bytes
+    /// that a later diff overwrites anyway. The win is largest on the
+    /// common fault shape where consecutive intervals of an iterative
+    /// application rewrote the same regions, so earlier diffs are almost
+    /// entirely shadowed.
+    ///
+    /// Walks the diffs in reverse. The last diff needs no bookkeeping at
+    /// all (it always wins), so a single-diff call costs the same as
+    /// [`Diff::apply`]; earlier diffs consult a written-byte bitmap, one
+    /// `u64` word per 64 page bytes. When the combined payload is small
+    /// (a few sparse diffs), the shadowing can save at most a couple of
+    /// page copies' worth of work — less than the bitmap costs — so the
+    /// diffs are simply applied sequentially. Out-of-bounds runs are
+    /// skipped and reported like in [`Diff::apply`].
+    pub fn apply_fused<'a, I>(diffs: I, page: &mut [u8]) -> Result<(), DiffError>
+    where
+        I: IntoIterator<Item = &'a Diff>,
+        I::IntoIter: DoubleEndedIterator + Clone,
+    {
+        let iter = diffs.into_iter();
+        let payload: u64 = iter.clone().map(|d| d.payload_bytes()).sum();
+        if payload <= 2 * page.len() as u64 {
+            let mut err: Option<DiffError> = None;
+            for diff in iter {
+                merge_err(&mut err, diff.apply(page).err());
+            }
+            return match err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            };
+        }
+        let mut rev = iter.rev();
+        let Some(last) = rev.next() else { return Ok(()) };
+        let mut err = last.apply(page).err();
+        // Bitmap of written page bytes plus the count of bytes still
+        // unwritten; built lazily on the second diff. When the count hits
+        // zero every remaining diff is fully shadowed and the pass ends —
+        // the dense iterative case degenerates to one page write total.
+        // (Runs of fully-shadowed diffs are not bounds-checked: they
+        // contribute no bytes.)
+        let mut written: Option<(Vec<u64>, usize)> = None;
+        for diff in rev {
+            let (bitmap, remaining) = written.get_or_insert_with(|| {
+                let mut bm = vec![0u64; page.len().div_ceil(64)];
+                mark_runs(&mut bm, last, page.len());
+                let marked: u64 = bm.iter().map(|w| w.count_ones() as u64).sum();
+                (bm, page.len() - marked as usize)
+            });
+            if *remaining == 0 {
+                break;
+            }
+            for run in diff.runs.iter() {
+                let start = run.offset as usize;
+                let Some(end) = start.checked_add(run.len as usize) else {
+                    note_bad(&mut err, page.len(), run);
+                    continue;
+                };
+                if end > page.len() {
+                    note_bad(&mut err, page.len(), run);
+                    continue;
+                }
+                apply_run_uncovered(page, &diff.payload, run, bitmap, remaining);
+            }
+        }
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -66,18 +286,108 @@ impl Diff {
 
     /// Total modified bytes.
     pub fn payload_bytes(&self) -> u64 {
-        self.runs.iter().map(|r| r.bytes.len() as u64).sum()
+        self.payload.len() as u64
     }
 
     /// Approximate wire size: 8 bytes of header per run plus the payload
     /// (offset + length words, as TreadMarks encodes diffs).
     pub fn wire_size(&self) -> u64 {
-        8 + self.runs.iter().map(|r| 8 + r.bytes.len() as u64).sum::<u64>()
+        8 + self.runs.len() as u64 * 8 + self.payload.len() as u64
     }
 
     /// The runs, for inspection.
-    pub fn runs(&self) -> &[DiffRun] {
-        &self.runs
+    pub fn runs(&self) -> Vec<DiffRun<'_>> {
+        self.iter_runs().collect()
+    }
+
+    /// Iterate the runs without materializing a `Vec`.
+    pub fn iter_runs(&self) -> impl Iterator<Item = DiffRun<'_>> {
+        self.runs.iter().map(|r| DiffRun {
+            offset: r.offset,
+            bytes: &self.payload[r.payload_off as usize..(r.payload_off + r.len) as usize],
+        })
+    }
+}
+
+fn note_bad(err: &mut Option<DiffError>, page_len: usize, run: &Run) {
+    match err {
+        Some(e) => e.bad_runs += 1,
+        None => *err = Some(DiffError { page_len, bad_runs: 1, first_bad: (run.offset, run.len) }),
+    }
+}
+
+/// Fold a later error into the accumulated one (first bad run wins the
+/// `first_bad` slot, counts add up).
+fn merge_err(err: &mut Option<DiffError>, new: Option<DiffError>) {
+    match (err.as_mut(), new) {
+        (Some(e), Some(n)) => e.bad_runs += n.bad_runs,
+        (None, Some(n)) => *err = Some(n),
+        _ => {}
+    }
+}
+
+/// Set the written bits for every in-bounds run of `diff`.
+fn mark_runs(bm: &mut [u64], diff: &Diff, page_len: usize) {
+    for run in diff.runs.iter() {
+        let start = run.offset as usize;
+        let Some(end) = start.checked_add(run.len as usize) else { continue };
+        if end > page_len {
+            continue; // the run was skipped, not written
+        }
+        let (mut i, end) = (start, end);
+        while i < end {
+            let w = i / 64;
+            let hi = end.min((w + 1) * 64);
+            bm[w] |= word_mask(i % 64, hi - i);
+            i = hi;
+        }
+    }
+}
+
+/// The bitmap word mask covering `n_bits` bits starting at `lo_bit`.
+#[inline(always)]
+fn word_mask(lo_bit: usize, n_bits: usize) -> u64 {
+    if n_bits == 64 {
+        !0
+    } else {
+        ((1u64 << n_bits) - 1) << lo_bit
+    }
+}
+
+/// Copy the bytes of an (in-bounds) `run` whose bits in `bitmap` are still
+/// clear into `page`, set them, and decrement `remaining` by the bytes
+/// newly written. Works one bitmap word (64 page bytes) at a time:
+/// fully-unwritten segments take one `copy_from_slice`, fully-written
+/// segments are skipped, mixed words go bit by bit.
+fn apply_run_uncovered(
+    page: &mut [u8],
+    payload: &[u8],
+    run: &Run,
+    bitmap: &mut [u64],
+    remaining: &mut usize,
+) {
+    let start = run.offset as usize;
+    let end = start + run.len as usize;
+    let base = run.payload_off as usize;
+    let mut i = start;
+    while i < end {
+        let w = i / 64;
+        let hi = end.min((w + 1) * 64);
+        let mask = word_mask(i % 64, hi - i);
+        let unwritten = mask & !bitmap[w];
+        if unwritten == mask {
+            page[i..hi].copy_from_slice(&payload[base + (i - start)..base + (hi - start)]);
+        } else if unwritten != 0 {
+            let mut bits = unwritten;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                page[idx] = payload[base + (idx - start)];
+                bits &= bits - 1;
+            }
+        }
+        bitmap[w] |= mask;
+        *remaining -= unwritten.count_ones() as usize;
+        i = hi;
     }
 }
 
@@ -105,9 +415,9 @@ mod tests {
         let d = Diff::create(&twin, &page);
         assert_eq!(d.run_count(), 1);
         assert_eq!(d.runs()[0].offset, 17);
-        assert_eq!(d.runs()[0].bytes, vec![9]);
+        assert_eq!(d.runs()[0].bytes, &[9]);
         let mut fresh = twin.clone();
-        d.apply(&mut fresh);
+        d.apply(&mut fresh).unwrap();
         assert_eq!(fresh, page);
     }
 
@@ -133,6 +443,42 @@ mod tests {
     }
 
     #[test]
+    fn cloning_shares_the_payload() {
+        let twin = vec![0u8; 256];
+        let mut page = twin.clone();
+        page[10..200].fill(3);
+        let d = Diff::create(&twin, &page);
+        let d2 = d.clone();
+        // Zero-copy: both handles point at the same payload allocation.
+        assert!(Arc::ptr_eq(&d.payload, &d2.payload));
+        assert!(Arc::ptr_eq(&d.runs, &d2.runs));
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn runs_straddle_chunk_boundaries() {
+        // Every (start, len) near u64/u128 chunk boundaries on a page
+        // whose size is not a multiple of the chunk width.
+        let n = 81;
+        let twin = page_of(n, |i| i as u8);
+        for start in 0..24 {
+            for len in 1..=(n - start).min(40) {
+                let mut page = twin.clone();
+                for b in &mut page[start..start + len] {
+                    *b ^= 0xFF; // guaranteed different
+                }
+                let d = Diff::create(&twin, &page);
+                assert_eq!(d.run_count(), 1, "start={start} len={len}");
+                assert_eq!(d.runs()[0].offset as usize, start);
+                assert_eq!(d.runs()[0].bytes.len(), len);
+                let mut rebuilt = twin.clone();
+                d.apply(&mut rebuilt).unwrap();
+                assert_eq!(rebuilt, page, "start={start} len={len}");
+            }
+        }
+    }
+
+    #[test]
     fn concurrent_disjoint_diffs_merge() {
         // The multiple-writer protocol: two nodes modify different parts of
         // the same page; applying both diffs to a third copy merges them.
@@ -144,8 +490,8 @@ mod tests {
         let da = Diff::create(&base, &a);
         let db = Diff::create(&base, &b);
         let mut merged = base.clone();
-        da.apply(&mut merged);
-        db.apply(&mut merged);
+        da.apply(&mut merged).unwrap();
+        db.apply(&mut merged).unwrap();
         assert_eq!(&merged[..32], &[1; 32]);
         assert_eq!(&merged[200..220], &[2; 20]);
         assert!(merged[32..200].iter().all(|&x| x == 0));
@@ -159,9 +505,55 @@ mod tests {
         page[90] = 0;
         let d = Diff::create(&twin, &page);
         let mut copy = twin.clone();
-        d.apply(&mut copy);
-        d.apply(&mut copy);
+        d.apply(&mut copy).unwrap();
+        d.apply(&mut copy).unwrap();
         assert_eq!(copy, page);
+    }
+
+    #[test]
+    fn out_of_bounds_run_is_skipped_not_fatal() {
+        // Diff made from 128-byte pages, applied to a 64-byte page: the
+        // in-bounds run lands, the out-of-bounds one is skipped whole and
+        // reported.
+        let twin = vec![0u8; 128];
+        let mut page = twin.clone();
+        page[3] = 7; // in bounds of the small page
+        page[100] = 9; // out of bounds
+        page[60..70].fill(5); // straddles the end: skipped whole
+        let d = Diff::create(&twin, &page);
+        assert_eq!(d.run_count(), 3);
+        let mut small = vec![0u8; 64];
+        let err = d.apply(&mut small).unwrap_err();
+        assert_eq!(err.page_len, 64);
+        assert_eq!(err.bad_runs, 2);
+        assert_eq!(err.first_bad, (60, 10));
+        assert_eq!(small[3], 7);
+        assert!(small[4..].iter().all(|&b| b == 0), "no partial writes");
+        // Fused apply reports the same.
+        let mut small = vec![0u8; 64];
+        let err = Diff::apply_fused([&d], &mut small).unwrap_err();
+        assert_eq!(err.bad_runs, 2);
+        assert_eq!(small[3], 7);
+    }
+
+    #[test]
+    fn fused_apply_last_writer_wins() {
+        let base = vec![0u8; 32];
+        let mut v1 = base.clone();
+        v1[4..20].fill(1);
+        let mut v2 = base.clone();
+        v2[0..10].fill(2);
+        let d1 = Diff::create(&base, &v1);
+        let d2 = Diff::create(&base, &v2);
+        // Sequential order d1 then d2: d2 wins on [0,10).
+        let mut fused = base.clone();
+        Diff::apply_fused([&d1, &d2], &mut fused).unwrap();
+        let mut seq = base.clone();
+        d1.apply(&mut seq).unwrap();
+        d2.apply(&mut seq).unwrap();
+        assert_eq!(fused, seq);
+        assert_eq!(&fused[0..10], &[2; 10]);
+        assert_eq!(&fused[10..20], &[1; 10]);
     }
 
     #[test]
@@ -172,6 +564,36 @@ mod tests {
         page[40] = 1;
         let d = Diff::create(&twin, &page);
         assert_eq!(d.wire_size(), 8 + 2 * (8 + 1));
+    }
+
+    #[test]
+    fn word_mask_covers_ranges() {
+        assert_eq!(word_mask(0, 64), !0);
+        assert_eq!(word_mask(0, 1), 1);
+        assert_eq!(word_mask(63, 1), 1 << 63);
+        assert_eq!(word_mask(4, 3), 0b111 << 4);
+    }
+
+    #[test]
+    fn fused_apply_crosses_bitmap_words() {
+        // Runs straddling the 64-byte bitmap-word boundary, partially
+        // shadowed by a later diff.
+        let base = vec![0u8; 200];
+        let mut v1 = base.clone();
+        v1[30..170].fill(1); // spans words 0..3
+        let mut v2 = base.clone();
+        v2[60..70].fill(2); // straddles the word 0/1 boundary
+        let d1 = Diff::create(&base, &v1);
+        let d2 = Diff::create(&base, &v2);
+        let mut fused = base.clone();
+        Diff::apply_fused([&d1, &d2], &mut fused).unwrap();
+        let mut seq = base.clone();
+        d1.apply(&mut seq).unwrap();
+        d2.apply(&mut seq).unwrap();
+        assert_eq!(fused, seq);
+        assert_eq!(&fused[60..70], &[2; 10]);
+        assert_eq!(&fused[30..60], &[1; 30]);
+        assert_eq!(&fused[70..170], &[1; 100]);
     }
 
     proptest::proptest! {
@@ -186,7 +608,7 @@ mod tests {
             }
             let d = Diff::create(&twin, &page);
             let mut rebuilt = twin.clone();
-            d.apply(&mut rebuilt);
+            d.apply(&mut rebuilt).unwrap();
             proptest::prop_assert_eq!(rebuilt, page);
         }
 
@@ -215,6 +637,51 @@ mod tests {
             for i in 0..n {
                 proptest::prop_assert_eq!(covered[i], twin[i] != page[i], "byte {} coverage", i);
             }
+        }
+
+        /// The chunked path is byte-identical to the scalar reference, in
+        /// particular on page sizes that are not multiples of 8/16 and on
+        /// runs straddering chunk boundaries (sizes 1..=300 cover every
+        /// residue mod 8 and 16).
+        #[test]
+        fn prop_chunked_equals_scalar(twin in proptest::collection::vec(0u8..4, 1..300),
+                                      page in proptest::collection::vec(0u8..4, 1..300)) {
+            let n = twin.len().min(page.len());
+            let (twin, page) = (&twin[..n], &page[..n]);
+            let fast = Diff::create(twin, page);
+            let scalar = Diff::create_scalar(twin, page);
+            proptest::prop_assert_eq!(fast, scalar);
+        }
+
+        /// Fused multi-diff apply is equivalent to applying the same diffs
+        /// sequentially, including overlapping runs (last writer wins).
+        #[test]
+        fn prop_fused_equals_sequential(
+            base in proptest::collection::vec(0u8..4, 1..200),
+            steps in proptest::collection::vec(
+                proptest::collection::vec((0usize..200, 0u8..4), 0..16), 0..6),
+        ) {
+            // Build a chain of page versions; diff k is version k vs k+1,
+            // so consecutive diffs overlap freely.
+            let mut diffs = Vec::new();
+            let mut cur = base.clone();
+            for step in steps {
+                let mut next = cur.clone();
+                for (pos, val) in step {
+                    let pos = pos % next.len();
+                    next[pos] = val;
+                }
+                diffs.push(Diff::create(&cur, &next));
+                cur = next;
+            }
+            let mut seq = base.clone();
+            for d in &diffs {
+                d.apply(&mut seq).unwrap();
+            }
+            let mut fused = base.clone();
+            Diff::apply_fused(diffs.iter(), &mut fused).unwrap();
+            proptest::prop_assert_eq!(&fused, &seq);
+            proptest::prop_assert_eq!(&fused, &cur, "chain must reconstruct the last version");
         }
     }
 }

@@ -143,8 +143,7 @@ pub(crate) fn handler_main(
                 match action {
                     LockAction::Queued => {}
                     LockAction::Forward(target) => {
-                        let msg =
-                            DsmMsg::LockAcquire { lock, from, vc, reply_to, forwarded: true };
+                        let msg = DsmMsg::LockAcquire { lock, from, vc, reply_to, forwarded: true };
                         let size = msg.wire_size();
                         nic.unicast(
                             &ctx,
@@ -202,7 +201,10 @@ pub(crate) fn handler_main(
                     let mut s = st.lock();
                     ctx.charge(s.cfg.service_overhead);
                     let (cost, diffs) = s.serve_diff_request(page, &ivxs);
-                    (DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: rse::OOB_SEQ }, cost)
+                    (
+                        DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: rse::OOB_SEQ },
+                        cost,
+                    )
                 };
                 ctx.charge(cost);
                 debug_assert!(reply_mcast, "recovery replies are always multicast (§5.4.2)");
@@ -256,10 +258,11 @@ fn holder_logic(
     } else {
         // Held by the local application, or the token is still in flight
         // to us: queue; the release path grants.
-        s.lock_pending
-            .entry(lock)
-            .or_default()
-            .push_back(PendingAcquire { from, vc: vc.clone(), reply_to });
+        s.lock_pending.entry(lock).or_default().push_back(PendingAcquire {
+            from,
+            vc: vc.clone(),
+            reply_to,
+        });
         LockAction::Queued
     }
 }

@@ -24,15 +24,15 @@ mod interval;
 mod msg;
 mod page;
 mod pod;
-mod runtime;
 mod rse;
+mod runtime;
 mod shmem;
 mod state;
 mod vc;
 
 pub use cluster::{AppFn, Cluster, ClusterConfig};
 pub use config::{DsmConfig, FlowControl};
-pub use diff::{Diff, DiffRun};
+pub use diff::{Diff, DiffError, DiffRun};
 pub use interval::{IntervalRecord, IntervalStore, PageId};
 pub use msg::{DsmMsg, TaskPayload};
 pub use page::PageMeta;

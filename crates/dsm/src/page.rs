@@ -93,11 +93,7 @@ impl PageMeta {
 
     /// The notices a node with valid notice `valid_at` is missing.
     pub fn missing_with(&self, valid_at: &Vc) -> Vec<(NodeId, u32)> {
-        self.notices
-            .iter()
-            .copied()
-            .filter(|&(owner, ivx)| !valid_at.covers(owner, ivx))
-            .collect()
+        self.notices.iter().copied().filter(|&(owner, ivx)| !valid_at.covers(owner, ivx)).collect()
     }
 }
 

@@ -63,12 +63,8 @@ impl DsmNode {
         //    and must not overtake the table.
         let msg = DsmMsg::ValidNoticeTable { deltas: table };
         let size = msg.wire_size();
-        let dsts: Vec<_> = self
-            .topo
-            .all_handlers()
-            .into_iter()
-            .filter(|&(node, _)| node != 0)
-            .collect();
+        let dsts: Vec<_> =
+            self.topo.all_handlers().into_iter().filter(|&(node, _)| node != 0).collect();
         let at = self.nic.multicast_reliable(&self.ctx, &dsts, MsgClass::ValidNotice, size, msg);
         let service = self.st.lock().cfg.service_overhead;
         let resume_at = at + service * 2;
@@ -299,11 +295,8 @@ pub(crate) fn on_forward(
 ) -> Option<(DsmMsg, repseq_sim::Dur)> {
     if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
         let me = st.node;
-        let my_ivxs: Vec<u32> = wanted
-            .iter()
-            .filter(|&&(owner, _)| owner == me)
-            .map(|&(_, ivx)| ivx)
-            .collect();
+        let my_ivxs: Vec<u32> =
+            wanted.iter().filter(|&&(owner, _)| owner == me).map(|&(_, ivx)| ivx).collect();
         if my_ivxs.is_empty() {
             return None;
         }
@@ -316,22 +309,15 @@ pub(crate) fn on_forward(
 
 /// Does this node hold the next turn of chain `req_seq`? If so, produce the
 /// turn message (diff reply or null ack) and the diff-creation cost.
-pub(crate) fn take_turn(
-    st: &mut NodeState,
-    req_seq: u64,
-) -> Option<(DsmMsg, repseq_sim::Dur)> {
+pub(crate) fn take_turn(st: &mut NodeState, req_seq: u64) -> Option<(DsmMsg, repseq_sim::Dur)> {
     let me = st.node;
     let (page, my_ivxs) = {
         let chain = st.chains.get(&req_seq)?;
         if chain.next_turn != me {
             return None;
         }
-        let my_ivxs: Vec<u32> = chain
-            .wanted
-            .iter()
-            .filter(|&&(owner, _)| owner == me)
-            .map(|&(_, ivx)| ivx)
-            .collect();
+        let my_ivxs: Vec<u32> =
+            chain.wanted.iter().filter(|&&(owner, _)| owner == me).map(|&(_, ivx)| ivx).collect();
         (chain.page, my_ivxs)
     };
     if my_ivxs.is_empty() {

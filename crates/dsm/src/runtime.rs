@@ -254,12 +254,7 @@ impl DsmNode {
             for owner in owners {
                 let ivxs = plan[&owner].clone();
                 debug_assert_ne!(owner, node, "own diffs are always cached");
-                let msg = DsmMsg::DiffRequest {
-                    page: p,
-                    ivxs,
-                    reply_to: self.ctx.pid(),
-                    req_id,
-                };
+                let msg = DsmMsg::DiffRequest { page: p, ivxs, reply_to: self.ctx.pid(), req_id };
                 let size = msg.wire_size();
                 self.nic.unicast(
                     &self.ctx,
@@ -390,7 +385,14 @@ impl DsmNode {
         if mgr == node {
             self.nic.local(&self.ctx, self.topo.handler_pids[mgr], msg);
         } else {
-            self.nic.unicast(&self.ctx, mgr, self.topo.handler_pids[mgr], MsgClass::Lock, size, msg);
+            self.nic.unicast(
+                &self.ctx,
+                mgr,
+                self.topo.handler_pids[mgr],
+                MsgClass::Lock,
+                size,
+                msg,
+            );
         }
         loop {
             let env = self.ctx.recv()?;

@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use repseq_sim::{Dur, Pid};
-use repseq_stats::NodeId;
+use repseq_stats::{host, NodeId};
 
 use crate::config::DsmConfig;
 use crate::diff::Diff;
@@ -18,6 +18,35 @@ use crate::vc::Vc;
 /// A queued multicast request awaiting the master's serialization:
 /// (page, wanted diffs, requester).
 pub type QueuedRequest = (PageId, Vec<(NodeId, u32)>, NodeId);
+
+/// Most page buffers a node keeps pooled for twin reuse. Big enough that
+/// a fault burst across a working set recycles instead of allocating,
+/// small enough to be negligible next to the page copies themselves.
+const TWIN_POOL_CAP: usize = 64;
+
+/// Take a page buffer from `pool` (or allocate) and fill it with `src`.
+/// Free functions rather than methods so callers can hold a `&mut` into
+/// `self.pages` at the same time (disjoint field borrows).
+fn pool_take(pool: &mut Vec<Box<[u8]>>, src: &[u8]) -> Box<[u8]> {
+    match pool.pop() {
+        Some(mut buf) if buf.len() == src.len() => {
+            host::twin_pool_hit();
+            buf.copy_from_slice(src);
+            buf
+        }
+        _ => {
+            host::twin_pool_miss();
+            src.to_vec().into_boxed_slice()
+        }
+    }
+}
+
+/// Return a page buffer to `pool` for reuse.
+fn pool_recycle(pool: &mut Vec<Box<[u8]>>, buf: Box<[u8]>) {
+    if pool.len() < TWIN_POOL_CAP {
+        pool.push(buf);
+    }
+}
 
 /// Pending lock-acquire request queued at the current holder.
 #[derive(Debug, Clone)]
@@ -55,6 +84,12 @@ pub struct NodeState {
     pub diffs: HashMap<(PageId, NodeId, u32), DiffEntry>,
     /// Pages with a twin (writes not yet diffed).
     pub dirty_pages: Vec<PageId>,
+    /// Recycled page-sized buffers for twins: every write fault needs a
+    /// page copy, and the steady state of a fault-heavy run would
+    /// otherwise allocate and free one page per fault. Buffers return
+    /// here when a twin is consumed by diff creation or dropped at
+    /// replicated-section exit. Capped at [`TWIN_POOL_CAP`].
+    pub twin_pool: Vec<Box<[u8]>>,
     /// Pages written (write-faulted) during the current, still-open
     /// interval. Consumed into write notices at the interval close; pages
     /// are then re-protected so that a later write faults again and is
@@ -133,6 +168,7 @@ impl NodeState {
             intervals: IntervalStore::new(n),
             diffs: HashMap::new(),
             dirty_pages: Vec::new(),
+            twin_pool: Vec::new(),
             cur_writes: Vec::new(),
             initial,
             in_rse: false,
@@ -213,9 +249,11 @@ impl NodeState {
         let node = self.node;
         let mut cost = self.cfg.diff_create_cost();
         let page = self.pages.get_mut(&p).expect("diffing unknown page");
-        let twin = page.twin.take().expect("diffing a page without a twin");
+        let mut twin = page.twin.take().expect("diffing a page without a twin");
         let data = page.data.as_deref().expect("twinned page must be materialized");
+        let timer = host::start();
         let diff = Diff::create(&twin, data);
+        host::record_diff_create(timer, 2 * data.len() as u64);
         let ivxs = std::mem::take(&mut page.own_undiffed);
         let written_cur = page.written_cur;
         page.rse_protected = false;
@@ -223,13 +261,15 @@ impl NodeState {
             // The diff was requested mid-interval: it already contains the
             // current interval's writes so far, but that interval's write
             // notice does not exist yet. Re-twin immediately so the rest of
-            // the current interval stays separable.
+            // the current interval stays separable — reusing the buffer of
+            // the twin just consumed instead of cloning the page.
             cost += self.cfg.twin_cost();
             let page = self.pages.get_mut(&p).unwrap();
-            let fresh = page.data.as_ref().unwrap().clone();
-            page.twin = Some(fresh);
+            twin.copy_from_slice(page.data.as_deref().unwrap());
+            page.twin = Some(twin);
             // stays writable and in the dirty set
         } else {
+            pool_recycle(&mut self.twin_pool, twin);
             let page = self.pages.get_mut(&p).unwrap();
             page.writable = false;
             self.dirty_pages.retain(|&q| q != p);
@@ -298,10 +338,11 @@ impl NodeState {
         let need_twin = self.pages.get(&p).map(|pg| pg.twin.is_none()).unwrap_or(true);
         if need_twin {
             cost += self.cfg.twin_cost();
-            let data = self.page_data(p).to_vec().into_boxed_slice();
+            self.page_data(p); // materialize before twinning
             let page = self.pages.get_mut(&p).unwrap();
             debug_assert!(page.valid, "write fault on an invalid page");
-            page.twin = Some(data);
+            let twin = pool_take(&mut self.twin_pool, page.data.as_deref().unwrap());
+            page.twin = Some(twin);
             if !in_rse {
                 self.dirty_pages.push(p);
             }
@@ -370,18 +411,26 @@ impl NodeState {
             let weight = self.intervals.get(owner, key_ivx).vc.weight();
             records.push((weight, rec));
         }
-        records.sort_by(|a, b| {
-            (a.0, a.1.owner, a.1.covers[0]).cmp(&(b.0, b.1.owner, b.1.covers[0]))
-        });
+        records
+            .sort_by(|a, b| (a.0, a.1.owner, a.1.covers[0]).cmp(&(b.0, b.1.owner, b.1.covers[0])));
         let mut cost = Dur::ZERO;
+        let node = self.node;
         let page_size = self.cfg.page_size;
         let initial = Arc::clone(&self.initial);
         let page = self.page_mut(p);
         let data = page.materialize(page_size, initial.get(&p));
-        let mut payload = 0u64;
-        for (_, rec) in &records {
-            rec.diff.apply(data);
-            payload += rec.diff.payload_bytes();
+        let payload: u64 = records.iter().map(|(_, rec)| rec.diff.payload_bytes()).sum();
+        // One fused pass over the page instead of one pass per record;
+        // the modeled cost still charges every record's full payload, as
+        // a real DSM would copy it.
+        let timer = host::start();
+        let applied = Diff::apply_fused(records.iter().map(|(_, rec)| &rec.diff), data);
+        host::record_diff_apply(timer, payload);
+        if let Err(e) = applied {
+            // A run outside the page means a corrupted or mis-sized diff.
+            // The in-bounds runs were applied; keep the node running on
+            // its best-effort copy rather than tearing the cluster down.
+            eprintln!("node {node}: page {p}: {e}");
         }
         cost += self.cfg.diff_apply_cost(payload);
         // The copy now reflects everything we know — plus every interval
@@ -490,8 +539,10 @@ impl NodeState {
         }
         let entry_vc = self.rse_entry_vc.clone();
         for p in std::mem::take(&mut self.rse_dirty) {
+            if let Some(twin) = self.page_mut(p).twin.take() {
+                pool_recycle(&mut self.twin_pool, twin);
+            }
             let page = self.page_mut(p);
-            page.twin = None;
             page.writable = false;
             page.rse_dirty = false;
             page.valid = true;
@@ -667,16 +718,15 @@ mod tests {
             }
             let mut vcfix = Vc::zero(3);
             vcfix.set(owner as usize, ivx);
-            let rec = IntervalRecord {
-                owner: owner as usize,
-                ivx,
-                vc: vcfix.clone(),
-                pages: vec![9],
-            };
+            let rec =
+                IntervalRecord { owner: owner as usize, ivx, vc: vcfix.clone(), pages: vec![9] };
             st.apply_records(vec![rec], &vcfix);
         }
         // Cache one of them: plan must exclude it.
-        st.diffs.insert((9, 0, 1), Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::default() }));
+        st.diffs.insert(
+            (9, 0, 1),
+            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::default() }),
+        );
         let plan = st.fetch_plan(9);
         assert_eq!(plan[&0], vec![2]);
         assert_eq!(plan[&1], vec![1]);
@@ -702,8 +752,14 @@ mod tests {
         a[0] = 1;
         let mut b = base.clone();
         b[0] = 2;
-        st.diffs.insert((4, 0, 1), Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::create(&base, &a) }));
-        st.diffs.insert((4, 1, 1), Arc::new(DiffRecord { owner: 1, covers: vec![1], diff: Diff::create(&a, &b) }));
+        st.diffs.insert(
+            (4, 0, 1),
+            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::create(&base, &a) }),
+        );
+        st.diffs.insert(
+            (4, 1, 1),
+            Arc::new(DiffRecord { owner: 1, covers: vec![1], diff: Diff::create(&a, &b) }),
+        );
         assert!(st.can_complete(4));
         st.apply_cached_diffs(4);
         let page = st.page_mut(4);

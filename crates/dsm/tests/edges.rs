@@ -15,7 +15,11 @@ fn cluster(n: usize) -> Cluster {
     Cluster::new(ClusterConfig::paper(n), Stats::new(n))
 }
 
-fn spmd(cl: Cluster, n: usize, f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static) {
+fn spmd(
+    cl: Cluster,
+    n: usize,
+    f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static,
+) {
     let f = Arc::new(f);
     let apps: Apps = (0..n)
         .map(|_| {

@@ -30,11 +30,8 @@ struct Program {
 }
 
 fn program_strategy() -> impl Strategy<Value = Program> {
-    prop::collection::vec(
-        prop::collection::vec((0usize..N_LOCS, 1u64..1_000_000), 0..12),
-        1..5,
-    )
-    .prop_map(|phases| Program { phases })
+    prop::collection::vec(prop::collection::vec((0usize..N_LOCS, 1u64..1_000_000), 0..12), 1..5)
+        .prop_map(|phases| Program { phases })
 }
 
 /// The ideal machine: apply phases in order; within a phase, later writes
@@ -86,11 +83,7 @@ fn run_on_dsm(prog: &Program, replicated_sections: bool) -> Vec<Vec<u64>> {
                     node.run_replicated(move |nd| {
                         for (loc, &want) in expect.iter().enumerate() {
                             let got = arr.get(nd, loc)?;
-                            assert_eq!(
-                                got, want,
-                                "node {} loc {loc} after phase {kk}",
-                                nd.node()
-                            );
+                            assert_eq!(got, want, "node {} loc {loc} after phase {kk}", nd.node());
                         }
                         Ok(())
                     })?;
@@ -156,6 +149,21 @@ proptest! {
         let got = run_on_dsm(&prog, true);
         for (me, view) in got.iter().enumerate() {
             prop_assert_eq!(view, &want, "node {} diverged (replicated mode)", me);
+        }
+    }
+}
+
+/// The shrunk input saved in `golden.proptest-regressions`, promoted to a
+/// plain test: the vendored proptest shim does not replay regression
+/// files (see vendor/README.md), so the case is pinned here instead.
+#[test]
+fn saved_regression_same_loc_across_phases() {
+    let prog = Program { phases: vec![vec![(19, 1)], vec![(19, 2), (3, 1)]] };
+    let want = golden(&prog);
+    for replicated in [false, true] {
+        let got = run_on_dsm(&prog, replicated);
+        for view in got {
+            assert_eq!(view, want, "replicated={replicated}");
         }
     }
 }

@@ -302,10 +302,7 @@ fn contention_after_sequential_section_is_visible() {
     let avg = par.avg_response().unwrap();
     // Uncontended service of a ~4 KB diff is well under a millisecond; with
     // 7 slaves hammering the master the average should exceed it clearly.
-    assert!(
-        avg.as_millis_f64() > 1.0,
-        "expected contention to inflate response times, got {avg}"
-    );
+    assert!(avg.as_millis_f64() > 1.0, "expected contention to inflate response times, got {avg}");
 }
 
 #[test]
@@ -334,7 +331,12 @@ fn deterministic_across_runs() {
         }
         let report = cl.launch(apps).unwrap();
         let snap = stats.snapshot();
-        (report.end_time, report.events_processed, snap.total_agg().messages, snap.total_agg().bytes)
+        (
+            report.end_time,
+            report.events_processed,
+            snap.total_agg().messages,
+            snap.total_agg().bytes,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -19,7 +19,10 @@ fn cluster(n: usize) -> (Cluster, StatsRef) {
     (cl, stats)
 }
 
-fn with_slaves(n: usize, master: impl FnOnce(DsmNode) -> Result<(), Stopped> + Send + 'static) -> Apps {
+fn with_slaves(
+    n: usize,
+    master: impl FnOnce(DsmNode) -> Result<(), Stopped> + Send + 'static,
+) -> Apps {
     let mut apps: Apps = Vec::new();
     apps.push(Box::new(master));
     for _ in 1..n {

@@ -224,10 +224,8 @@ fn loopback_skips_switch() {
         Ok(())
     });
     sim.run().unwrap();
-    let expect = SimTime::ZERO
-        + cfg.send_sw_overhead
-        + cfg.unicast_wire_time(100)
-        + cfg.recv_sw_overhead;
+    let expect =
+        SimTime::ZERO + cfg.send_sw_overhead + cfg.unicast_wire_time(100) + cfg.recv_sw_overhead;
     assert_eq!(*at.lock(), expect);
 }
 
@@ -305,7 +303,7 @@ fn contention_raises_response_time() {
         while let Ok(env) = ctx.recv() {
             let (_, reply_to) = env.msg;
             ctx.charge(Dur::from_micros(30)); // diff creation
-            // Client for node N was spawned after the server, so pid == N.
+                                              // Client for node N was spawned after the server, so pid == N.
             server_nic.unicast(&ctx, reply_to, reply_to, MsgClass::DiffReply, 4096, (1, 0));
         }
         Ok(())

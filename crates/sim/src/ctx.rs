@@ -159,10 +159,7 @@ impl<M: Send + 'static> Ctx<M> {
 
     /// Yield to the engine. `setup` runs under the kernel lock and must set
     /// this process's status and schedule any wake events.
-    fn block(
-        &self,
-        setup: impl FnOnce(&mut Kernel<M>, Pid),
-    ) -> Result<(SimTime, bool), Stopped> {
+    fn block(&self, setup: impl FnOnce(&mut Kernel<M>, Pid)) -> Result<(SimTime, bool), Stopped> {
         let c = self.flushed_clock();
         {
             let mut k = self.kernel.lock();

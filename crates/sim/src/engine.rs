@@ -371,7 +371,10 @@ impl<M: Send + 'static> Sim<M> {
         match ev.kind {
             EventKind::Wake { pid, gen } => {
                 let slot = &k.procs[pid];
-                if slot.gen != gen || slot.status == Status::Exited || slot.status == Status::Running {
+                if slot.gen != gen
+                    || slot.status == Status::Exited
+                    || slot.status == Status::Running
+                {
                     return None; // stale wake
                 }
                 match slot.status {
@@ -416,9 +419,7 @@ impl<M: Send + 'static> Sim<M> {
         slot.gen += 1; // invalidate any other pending wakes
         slot.status = Status::Running;
         slot.clock = time;
-        slot.resume_tx
-            .send(Resume::Go { time, timed_out })
-            .expect("process thread vanished");
+        slot.resume_tx.send(Resume::Go { time, timed_out }).expect("process thread vanished");
         pid
     }
 

@@ -13,8 +13,10 @@
 //! bench harness takes a [`StatsSnapshot`] at the end of a run and formats
 //! the paper's table rows from it.
 
+pub mod host;
 mod registry;
 mod snapshot;
 
+pub use host::HostCounters;
 pub use registry::{MsgClass, NodeId, Section, Stats, StatsRef};
 pub use snapshot::{NodeSnapshot, SectionAgg, StatsSnapshot};

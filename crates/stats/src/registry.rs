@@ -244,11 +244,7 @@ impl Stats {
     pub fn snapshot(&self) -> StatsSnapshot {
         let i = self.inner.lock();
         StatsSnapshot {
-            nodes: i
-                .nodes
-                .iter()
-                .map(|n| NodeSnapshot { sections: n.sections.clone() })
-                .collect(),
+            nodes: i.nodes.iter().map(|n| NodeSnapshot { sections: n.sections.clone() }).collect(),
             section_time: i.section_time,
             total_time: i.total_time,
         }

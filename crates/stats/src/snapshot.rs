@@ -136,8 +136,10 @@ impl StatsSnapshot {
     {
         self.nodes
             .iter()
-            .map(|n| f(&n.sections[section_idx(Section::Sequential)])
-                + f(&n.sections[section_idx(Section::Replicated)]))
+            .map(|n| {
+                f(&n.sections[section_idx(Section::Sequential)])
+                    + f(&n.sections[section_idx(Section::Replicated)])
+            })
             .collect()
     }
 
@@ -183,9 +185,7 @@ impl StatsSnapshot {
     pub fn max_node_valid_notice_time(&self) -> Dur {
         self.nodes
             .iter()
-            .map(|n| {
-                n.sections.iter().map(|c| c.valid_notice_time).fold(Dur::ZERO, |a, b| a + b)
-            })
+            .map(|n| n.sections.iter().map(|c| c.valid_notice_time).fold(Dur::ZERO, |a, b| a + b))
             .fold(Dur::ZERO, Dur::max)
     }
 }

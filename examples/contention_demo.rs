@@ -30,10 +30,7 @@ fn response_ms(mode: SeqMode, nodes: usize) -> (f64, f64) {
 
 fn main() {
     println!("Contention at the master vs. cluster size (24 shared pages, 3 iterations)\n");
-    println!(
-        "{:>6} {:>26} {:>26}",
-        "nodes", "Original avg resp (ms)", "Replicated avg resp (ms)"
-    );
+    println!("{:>6} {:>26} {:>26}", "nodes", "Original avg resp (ms)", "Replicated avg resp (ms)");
     for nodes in [2usize, 4, 8, 16, 32] {
         let (orig, _) = response_ms(SeqMode::MasterOnly, nodes);
         let (opt, _) = response_ms(SeqMode::Replicated, nodes);

@@ -85,8 +85,10 @@ fn kitchen_sink_program() {
 fn end_to_end_runs_are_reproducible() {
     let run = || {
         let n = 4;
-        let mut rt =
-            Runtime::new(RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::Replicated });
+        let mut rt = Runtime::new(RunConfig {
+            cluster: ClusterConfig::paper(n),
+            seq_mode: SeqMode::Replicated,
+        });
         let app = repseq::apps::barnes_hut::BarnesHut::setup(
             &mut rt,
             repseq::apps::barnes_hut::BhConfig::tiny(),

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches actually use: `Criterion`,
+//! `bench_function`, `iter`, `iter_batched`, `benchmark_group`,
+//! `sample_size`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simplified from upstream): each benchmark is warmed up,
+//! the iteration count is calibrated so one sample takes a measurable
+//! slice of wall-clock, then `sample_size` samples are collected and the
+//! median per-iteration time is reported. No plots, no statistics beyond
+//! median and min — enough to compare hot-path variants by eye and to
+//! feed the JSON trajectory emitter (which does its own timing).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup. The shim treats every variant the
+/// same: inputs are pre-built in batches and the routine loop is timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    calibration_target: Duration,
+}
+
+impl Bencher<'_> {
+    /// Benchmark `routine` called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count.
+        let iters = calibrate(self.calibration_target, |k| {
+            let t0 = Instant::now();
+            for _ in 0..k {
+                black_box(routine());
+            }
+            t0.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Benchmark `routine` over fresh inputs from `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = calibrate(self.calibration_target, |k| {
+            let inputs: Vec<I> = (0..k).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            t0.elapsed()
+        });
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// Find an iteration count whose sample time reaches `target`.
+fn calibrate(target: Duration, mut run: impl FnMut(u64) -> Duration) -> u64 {
+    let mut iters: u64 = 1;
+    loop {
+        let took = run(iters);
+        if took >= target || iters >= 1 << 24 {
+            return iters.max(1);
+        }
+        // Aim straight for the target with 2x headroom, growth capped 10x.
+        let scale = (target.as_secs_f64() / took.as_secs_f64().max(1e-9) * 2.0).min(10.0);
+        iters = ((iters as f64 * scale) as u64).max(iters + 1);
+    }
+}
+
+fn report(name: &str, samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let unit = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    println!("{name:<40} median {:>12}/iter (min {})", unit(median), unit(min));
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Upstream builder hook; the shim has no CLI to configure.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            calibration_target: Duration::from_millis(2),
+        };
+        f(&mut b);
+        report(name, &mut samples);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup { parent: self, sample_size: None }
+    }
+}
+
+/// A group of related benchmarks (supports `sample_size`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+            calibration_target: Duration::from_millis(2),
+        };
+        f(&mut b);
+        report(&format!("  {name}"), &mut samples);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion { sample_size: 3 };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn calibrate_returns_positive() {
+        let iters = calibrate(Duration::from_micros(50), |k| {
+            let t0 = Instant::now();
+            for _ in 0..k {
+                black_box(0u64);
+            }
+            t0.elapsed()
+        });
+        assert!(iters >= 1);
+    }
+}

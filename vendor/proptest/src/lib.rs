@@ -1,0 +1,331 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its property tests actually use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - integer-range, tuple and [`collection::vec`] strategies,
+//! - [`Strategy::prop_map`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - [`test_runner::Config::with_cases`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name), and
+//! there is **no shrinking** — on failure the exact failing input is
+//! printed instead, which is enough to reproduce (generation is
+//! deterministic) and to paste into a regression test.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test generator (SplitMix64 stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier, so each property gets an
+        /// independent but reproducible stream.
+        pub fn for_test(test_id: &str) -> TestRng {
+            // FNV-1a over the id.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type. `Debug + Clone` so failing inputs can be
+    /// reported, `'static` so generated values can cross the
+    /// `catch_unwind` boundary in the runner.
+    type Value: Debug + Clone + 'static;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone + 'static,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug + Clone + 'static,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+/// Collection strategies.
+pub mod collection {
+    use super::test_runner::TestRng;
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec`]: an exact `usize` or a half-open range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    /// Generate vectors of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test module conventionally imports.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property; a failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let values = ($($crate::Strategy::generate(&($strat), &mut rng),)+);
+                let reported = values.clone();
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ($($arg,)+) = values;
+                        $body
+                    }),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed; inputs: {:#?}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        reported,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("t1");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+        let vs = Strategy::generate(&prop::collection::vec(0u32..4, 5..9), &mut rng);
+        assert!((5..9).contains(&vs.len()));
+        assert!(vs.iter().all(|&x| x < 4));
+        let exact = Strategy::generate(&prop::collection::vec(0u32..4, 7usize), &mut rng);
+        assert_eq!(exact.len(), 7);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_id() {
+        let strat = prop::collection::vec((0usize..10, 0u64..100), 0..20);
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let mut c = crate::test_runner::TestRng::for_test("other");
+        assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        // Overwhelmingly likely to differ between streams.
+        let xs: Vec<_> = (0..4).map(|_| Strategy::generate(&strat, &mut a)).collect();
+        let ys: Vec<_> = (0..4).map(|_| Strategy::generate(&strat, &mut c)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(v in prop::collection::vec(0u8..4, 1..16),
+                       (a, b) in (0usize..8, 0u32..5)) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(a < 8 && b < 5, "a={} b={}", a, b);
+            prop_assert_eq!(v.len(), v.iter().map(|&x| x as usize).filter(|&x| x < 4).count());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_applies(n in (1usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && (2..10).contains(&n));
+        }
+    }
+}
