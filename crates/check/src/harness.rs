@@ -1,0 +1,268 @@
+//! The schedule-sweep torture harness: run a workload across a grid of
+//! loss schedules, checking the coherence oracle and the protocol
+//! invariants after every run, and producing a divergence report on the
+//! first failure.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_dsm::{AppFn, Cluster, ClusterConfig, DsmNode, LaunchOutcome, PageId};
+use repseq_net::LossConfig;
+use repseq_sim::{Dur, Stopped};
+use repseq_stats::Stats;
+
+use crate::oracle::{check_snapshots, DsmMem, Expected, RefMem, Snapshot};
+use crate::report;
+use crate::workload::{Builder, Phase, Workload};
+
+/// One point of the sweep grid: a loss seed, a drop rate and whether
+/// unicast diff-protocol frames are lossy too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schedule {
+    /// Loss-hash seed.
+    pub seed: u64,
+    /// Drop probability in 1/1000 units (0 = lossless run).
+    pub drop_per_mille: u32,
+    /// Also drop unicast diff-protocol frames.
+    pub unicast: bool,
+}
+
+impl Schedule {
+    fn loss(&self) -> Option<LossConfig> {
+        if self.drop_per_mille == 0 {
+            return None;
+        }
+        Some(LossConfig {
+            drop_per_mille: self.drop_per_mille,
+            seed: self.seed,
+            unicast: self.unicast,
+        })
+    }
+}
+
+/// Cluster shape shared by every schedule of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Recovery timeout (short, so lossy schedules actually reach the
+    /// §5.4.2 recovery path within the test budget).
+    pub rse_timeout: Dur,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig { nodes: 3, rse_timeout: Dur::from_millis(20) }
+    }
+}
+
+/// What one passing schedule contributed to the sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScheduleOutcome {
+    /// Frames the loss injector dropped.
+    pub drops: usize,
+    /// Chain turns that completed despite missed predecessors, summed over
+    /// nodes (> 0 means the gap-tolerant path ran).
+    pub chain_holes: u64,
+    /// Kernel events processed.
+    pub events: u64,
+}
+
+/// Aggregate over a sweep; the torture tests assert on these to prove the
+/// recovery machinery was actually exercised, not just survived.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepSummary {
+    /// Schedules run.
+    pub schedules: usize,
+    /// Total dropped frames across all schedules.
+    pub drops: usize,
+    /// Total tolerated chain holes across all schedules.
+    pub chain_holes: u64,
+}
+
+/// Everything one cluster run of a workload produced.
+pub(crate) struct RunArtifacts {
+    pub outcome: LaunchOutcome,
+    pub snaps: Vec<Snapshot>,
+    pub expected: Expected,
+    pub name: &'static str,
+}
+
+/// Replay the workload's phases on a single reference memory, recording
+/// the audited pages' image after each phase.
+fn replay_reference(w: &Workload, page_size: usize, n: usize) -> Expected {
+    let mut m = RefMem::new(page_size);
+    let mut out = Expected::new();
+    for ph in &w.phases {
+        match ph {
+            Phase::Replicated(body) => body(&mut m).expect("reference replay cannot stop"),
+            Phase::Parallel(body) => {
+                for me in 0..n {
+                    body(&mut m, me, n).expect("reference replay cannot stop");
+                }
+            }
+        }
+        out.push(w.audit.iter().map(|&p| (p, m.page_image(p))).collect());
+    }
+    out
+}
+
+fn take_snapshot(nd: &DsmNode, phase: usize, audit: &[PageId], coll: &Mutex<Vec<Snapshot>>) {
+    let node = nd.node();
+    let mut c = coll.lock();
+    for &p in audit {
+        if let Some(bytes) = nd.inspect_page(p) {
+            c.push(Snapshot { phase, node, page: p, bytes });
+        }
+    }
+}
+
+/// Build a fresh cluster, run the workload once under `loss`, and collect
+/// the per-checkpoint snapshots plus the launch outcome.
+pub(crate) fn run_once(
+    build: Builder,
+    cfg: &HarnessConfig,
+    loss: Option<LossConfig>,
+    trace: bool,
+) -> RunArtifacts {
+    let n = cfg.nodes;
+    let stats = Stats::new(n);
+    let mut ccfg = ClusterConfig::paper(n);
+    ccfg.net.loss = loss;
+    ccfg.dsm.rse_timeout = cfg.rse_timeout;
+    let mut cl = Cluster::new(ccfg, stats);
+    cl.record_trace(trace);
+    let page_size = cl.config().dsm.page_size;
+    let w = build(&mut cl, n);
+    let expected = replay_reference(&w, page_size, n);
+    let name = w.name;
+    let audit: Arc<Vec<PageId>> = Arc::new(w.audit);
+    let phases = w.phases;
+    let collector: Arc<Mutex<Vec<Snapshot>>> = Arc::new(Mutex::new(Vec::new()));
+    let coll_master = Arc::clone(&collector);
+    let audit_master = Arc::clone(&audit);
+    let master = move |node: DsmNode| -> Result<(), Stopped> {
+        for (k, ph) in phases.iter().enumerate() {
+            match ph {
+                Phase::Replicated(body) => {
+                    let body = Arc::clone(body);
+                    let audit = Arc::clone(&audit_master);
+                    let coll = Arc::clone(&coll_master);
+                    node.run_replicated(move |nd| {
+                        body(&mut DsmMem(nd))?;
+                        take_snapshot(nd, k, &audit, &coll);
+                        Ok(())
+                    })?;
+                }
+                Phase::Parallel(body) => {
+                    let body = Arc::clone(body);
+                    let audit = Arc::clone(&audit_master);
+                    let coll = Arc::clone(&coll_master);
+                    node.run_parallel(move |nd| {
+                        body(&mut DsmMem(nd), nd.node(), nd.n_nodes())?;
+                        nd.barrier()?;
+                        take_snapshot(nd, k, &audit, &coll);
+                        Ok(())
+                    })?;
+                }
+            }
+        }
+        node.shutdown_slaves()
+    };
+    let mut apps: Vec<AppFn> = vec![Box::new(master)];
+    for _ in 1..n {
+        apps.push(Box::new(|node: DsmNode| node.slave_loop()));
+    }
+    let outcome = cl.launch_inspect(apps);
+    let snaps = std::mem::take(&mut *collector.lock());
+    RunArtifacts { outcome, snaps, expected, name }
+}
+
+/// First violated invariant of a finished run, if any, as a one-paragraph
+/// description for the failure report.
+fn validate(art: &RunArtifacts) -> Option<String> {
+    let report = match &art.outcome.result {
+        Err(e) => return Some(format!("simulation failed: {e:?}")),
+        Ok(r) => r,
+    };
+    for probe in &art.outcome.probes {
+        if !probe.is_quiescent() {
+            return Some(format!("node {} not quiescent after the run: {probe:?}", probe.node));
+        }
+    }
+    let stuck: Vec<_> =
+        report.mailbox_backlog.iter().filter(|(name, _)| name.starts_with("app")).collect();
+    if !stuck.is_empty() {
+        return Some(format!("undelivered application messages at exit: {stuck:?}"));
+    }
+    if let Some(v) = check_snapshots(&art.snaps, &art.expected) {
+        return Some(format!(
+            "coherence violation: node {} page {} byte {} is {:#04x}, reference says {:#04x} \
+             (checkpoint after phase {})",
+            v.node, v.page, v.offset, v.actual, v.expected, v.phase
+        ));
+    }
+    None
+}
+
+/// Run one schedule of a workload. On success returns what it contributed
+/// to the sweep; on any invariant or oracle failure, re-runs the schedule
+/// and a lossless twin with kernel tracing enabled and returns the full
+/// divergence report as the error.
+pub fn run_schedule(
+    build: Builder,
+    cfg: &HarnessConfig,
+    sched: Schedule,
+) -> Result<ScheduleOutcome, String> {
+    let art = run_once(build, cfg, sched.loss(), false);
+    if let Some(why) = validate(&art) {
+        // Deterministic engine: the traced re-runs reproduce the failure
+        // and the clean twin exactly.
+        let lossy = run_once(build, cfg, sched.loss(), true);
+        let clean = run_once(build, cfg, None, true);
+        return Err(report::render_failure(
+            art.name,
+            cfg,
+            sched,
+            &why,
+            &lossy.outcome,
+            &clean.outcome,
+        ));
+    }
+    let report = art.outcome.result.as_ref().expect("validated runs have a report");
+    Ok(ScheduleOutcome {
+        drops: art.outcome.loss_events.len(),
+        chain_holes: art.outcome.probes.iter().map(|p| p.chain_holes).sum(),
+        events: report.events_processed,
+    })
+}
+
+/// Sweep a workload across `schedules`, panicking with the divergence
+/// report on the first failure.
+pub fn sweep(build: Builder, cfg: &HarnessConfig, schedules: &[Schedule]) -> SweepSummary {
+    let mut sum = SweepSummary::default();
+    for &s in schedules {
+        match run_schedule(build, cfg, s) {
+            Ok(o) => {
+                sum.schedules += 1;
+                sum.drops += o.drops;
+                sum.chain_holes += o.chain_holes;
+            }
+            Err(report) => panic!("{report}"),
+        }
+    }
+    sum
+}
+
+/// The cartesian schedule grid the torture tests use.
+pub fn grid(seeds: std::ops::Range<u64>, rates: &[u32], unicast: &[bool]) -> Vec<Schedule> {
+    let mut v = Vec::new();
+    for seed in seeds {
+        for &drop_per_mille in rates {
+            for &unicast in unicast {
+                v.push(Schedule { seed, drop_per_mille, unicast });
+            }
+        }
+    }
+    v
+}

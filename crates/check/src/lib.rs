@@ -1,0 +1,34 @@
+//! # repseq-check — protocol correctness checking for the §5.4.2 chain
+//!
+//! The DSM's replicated-section multicast protocol has a recovery path
+//! (timeouts, out-of-band replies, re-elections) that ordinary workloads
+//! almost never exercise — exactly the paper's observation ("a rather
+//! expensive mechanism ... almost never invoked"), and exactly where bugs
+//! hide. This crate turns that path into a first-class test target:
+//!
+//! * an **oracle** ([`oracle`]) that replays each workload on a single flat
+//!   reference memory and asserts every node's valid shared pages are
+//!   bit-identical to it at every barrier and replicated-section exit;
+//! * a **schedule-sweep harness** ([`harness`]) that runs workloads across
+//!   a grid of loss seeds × drop rates × unicast/multicast loss, checking
+//!   the oracle plus protocol invariants (quiescent [`repseq_dsm::RseProbe`]s,
+//!   no wedged chains, no undelivered application traffic);
+//! * **divergence reporting** ([`report`]) that, on failure, re-runs the
+//!   schedule with kernel-event tracing on, diffs it against a clean run of
+//!   the same workload, and names the first divergent kernel event and the
+//!   loss decision that caused it.
+//!
+//! Workload bodies are written once against the [`oracle::Mem`] trait and
+//! executed both on the DSM cluster and on the reference memory, so the
+//! oracle needs no per-workload expected values.
+
+pub mod harness;
+pub mod oracle;
+pub mod report;
+pub mod workload;
+
+pub use harness::{
+    grid, run_schedule, sweep, HarnessConfig, Schedule, ScheduleOutcome, SweepSummary,
+};
+pub use oracle::{DsmMem, Mem, OracleViolation, RefMem, Snapshot};
+pub use workload::{kitchen_sink, rse_kernel, Builder, Phase, Workload};

@@ -1,0 +1,61 @@
+//! The schedule-sweep torture suite: the full stack under a grid of loss
+//! schedules, with the coherence oracle and the protocol invariants
+//! checked after every run. CI runs this in release mode (see the
+//! `torture` job); the grids below total 200+ lossy schedules.
+
+use repseq_check::{grid, kitchen_sink, rse_kernel, run_schedule, sweep, HarnessConfig, Schedule};
+
+/// Lossless baseline: the oracle itself must hold on clean runs of both
+/// workloads (a failure here is an oracle or workload bug, not a protocol
+/// bug).
+#[test]
+fn clean_runs_satisfy_the_oracle() {
+    let cfg = HarnessConfig::default();
+    let clean = Schedule { seed: 0, drop_per_mille: 0, unicast: false };
+    for build in [rse_kernel, kitchen_sink] {
+        let out = run_schedule(build, &cfg, clean).unwrap_or_else(|r| panic!("{r}"));
+        assert_eq!(out.drops, 0);
+    }
+}
+
+/// The RSE-heavy kernel across seeds × drop rates × loss media. Brutal
+/// drop rates with a short recovery timeout: every schedule must converge
+/// to reference memory and leave the protocol quiescent.
+#[test]
+fn torture_sweep_rse_kernel() {
+    let cfg = HarnessConfig::default();
+    let schedules = grid(0..28, &[100, 250, 400], &[false, true]);
+    assert_eq!(schedules.len(), 168);
+    let sum = sweep(rse_kernel, &cfg, &schedules);
+    assert_eq!(sum.schedules, schedules.len());
+    assert!(sum.drops > 0, "the sweep must actually drop frames to mean anything");
+}
+
+/// The full-feature mix (locks, cross-block reads, cyclic updates) across
+/// a smaller grid at a different node count.
+#[test]
+fn torture_sweep_kitchen_sink() {
+    let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
+    let schedules = grid(0..10, &[150, 350], &[false, true]);
+    assert_eq!(schedules.len(), 40);
+    let sum = sweep(kitchen_sink, &cfg, &schedules);
+    assert_eq!(sum.schedules, schedules.len());
+    assert!(sum.drops > 0);
+}
+
+/// The divergence report machinery itself: a schedule that drops frames
+/// but passes produces no report; sanity-check the report renderer by
+/// forcing a failure through an impossible expectation is not possible
+/// from outside, so instead assert the reporting path's building blocks —
+/// the traced re-run — stays deterministic: two traced runs of the same
+/// lossy schedule produce identical drop logs.
+#[test]
+fn lossy_schedules_are_reproducible() {
+    let cfg = HarnessConfig::default();
+    let sched = Schedule { seed: 7, drop_per_mille: 300, unicast: true };
+    let a = run_schedule(rse_kernel, &cfg, sched).unwrap_or_else(|r| panic!("{r}"));
+    let b = run_schedule(rse_kernel, &cfg, sched).unwrap_or_else(|r| panic!("{r}"));
+    assert_eq!(a.drops, b.drops);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.chain_holes, b.chain_holes);
+}

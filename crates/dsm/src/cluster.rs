@@ -16,7 +16,7 @@ use crate::msg::DsmMsg;
 use crate::pod::Pod;
 use crate::runtime::{DsmNode, Topology};
 use crate::shmem::{ShArray, ShVar};
-use crate::state::NodeState;
+use crate::state::{NodeState, RseProbe};
 
 /// Everything needed to build a simulated DSM cluster.
 #[derive(Debug, Clone)]
@@ -47,6 +47,20 @@ pub struct Cluster {
     stats: StatsRef,
     initial: HashMap<PageId, Vec<u8>>,
     alloc_next: u64,
+    record_trace: bool,
+}
+
+/// Everything [`Cluster::launch_inspect`] hands back for post-run
+/// verification: the simulation outcome plus per-node protocol probes and
+/// the network's loss log. `repseq-check` builds its invariant sweep and
+/// divergence reports on this.
+pub struct LaunchOutcome {
+    /// The simulation result (report on success, deadlock/panic otherwise).
+    pub result: Result<SimReport, SimError>,
+    /// One [`RseProbe`] per node, snapshotted after the simulation ended.
+    pub probes: Vec<RseProbe>,
+    /// Every frame the loss injector dropped, in decision order.
+    pub loss_events: Vec<repseq_net::LossEvent>,
 }
 
 impl Cluster {
@@ -62,7 +76,16 @@ impl Cluster {
             // Address 0 is reserved so that a zero handle is recognizably
             // uninitialized.
             alloc_next: 64,
+            record_trace: false,
         }
+    }
+
+    /// Record the kernel event trace during the run (see
+    /// `SimReport::trace`), so a failing schedule can be diffed against a
+    /// clean run event by event. Off by default — tracing a long run costs
+    /// memory.
+    pub fn record_trace(&mut self, on: bool) {
+        self.record_trace = on;
     }
 
     /// The configuration.
@@ -141,6 +164,13 @@ impl Cluster {
     /// per node (`apps[0]` is the master program), and run the simulation
     /// to completion.
     pub fn launch(self, apps: Vec<AppFn>) -> Result<SimReport, SimError> {
+        self.launch_inspect(apps).result
+    }
+
+    /// Like [`Cluster::launch`], but additionally returns per-node protocol
+    /// probes and the loss log for post-run invariant checking — the entry
+    /// point `repseq-check` uses.
+    pub fn launch_inspect(self, apps: Vec<AppFn>) -> LaunchOutcome {
         let n = self.cfg.nodes;
         assert_eq!(apps.len(), n, "need exactly one application per node");
         let net = Network::new(self.cfg.net.clone(), Arc::clone(&self.stats));
@@ -164,6 +194,7 @@ impl Cluster {
         });
 
         let mut sim = Sim::<DsmMsg>::new();
+        sim.record_trace(self.record_trace);
         // Handlers first: pids 0..n-1.
         for (i, state) in states.iter().enumerate() {
             let nic = net.nic(i);
@@ -185,6 +216,8 @@ impl Cluster {
             });
             assert_eq!(pid, topo.app_pids[i]);
         }
-        sim.run()
+        let result = sim.run();
+        let probes = states.iter().map(|s| s.lock().rse_probe()).collect();
+        LaunchOutcome { result, probes, loss_events: net.loss_events() }
     }
 }

@@ -45,6 +45,11 @@ pub struct DsmConfig {
     /// Receive timeout before the replicated-section recovery path kicks in
     /// (§5.4.2: "a rather expensive mechanism ... almost never invoked").
     pub rse_timeout: Dur,
+    /// Maximum §5.4.2 recovery rounds for one fault before the node gives
+    /// up with a diagnostic panic. Every round re-requests every missing
+    /// diff, so a recovery that has not converged after this many rounds
+    /// indicates a protocol bug or a dead peer, not loss.
+    pub rse_max_retries: u32,
     /// Multicast pacing during replicated sections.
     pub flow_control: FlowControl,
 }
@@ -61,6 +66,7 @@ impl Default for DsmConfig {
             service_overhead: Dur::from_micros(10),
             sync_overhead: Dur::from_micros(8),
             rse_timeout: Dur::from_millis(500),
+            rse_max_retries: 32,
             flow_control: FlowControl::Serialized,
         }
     }

@@ -308,9 +308,16 @@ fn handle_chain_step(
                 to_multicast = Some((msg, class));
             }
         } else if wake.is_none() {
-            // Out-of-band recovery reply: even if our copy was not
-            // completed, a waiting application should re-check (it may now
-            // recover more).
+            // Out-of-band recovery reply that did not complete our copy:
+            // a waiting application must still be woken so it re-evaluates
+            // its fetch plan immediately — it may now recover more, and
+            // what is still missing gets re-requested — instead of
+            // sleeping out a full extra `rse_timeout`.
+            if let Some((page, _)) = &diffs {
+                if s.waiting_page == Some(*page) {
+                    wake = Some(*page);
+                }
+            }
         }
     }
     if let Some(page) = wake {

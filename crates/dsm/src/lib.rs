@@ -30,7 +30,7 @@ mod shmem;
 mod state;
 mod vc;
 
-pub use cluster::{AppFn, Cluster, ClusterConfig};
+pub use cluster::{AppFn, Cluster, ClusterConfig, LaunchOutcome};
 pub use config::{DsmConfig, FlowControl};
 pub use diff::{Diff, DiffError, DiffRun};
 pub use interval::{IntervalRecord, IntervalStore, PageId};
@@ -39,5 +39,5 @@ pub use page::PageMeta;
 pub use pod::Pod;
 pub use runtime::{DsmNode, ParkEvent, Task, TaskFn};
 pub use shmem::{ShArray, ShVar};
-pub use state::NodeState;
+pub use state::{ChainProbe, NodeState, RseProbe};
 pub use vc::Vc;

@@ -180,16 +180,26 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
             msg,
         );
     }
-    let timeout = node.st.lock().cfg.rse_timeout;
+    let (timeout, max_retries) = {
+        let st = node.st.lock();
+        (st.cfg.rse_timeout, st.cfg.rse_max_retries)
+    };
+    let mut retries: u32 = 0;
     loop {
         match node.ctx().recv_timeout(timeout)? {
             Some(env) => match env.msg {
                 DsmMsg::WakePage { page } if page == p => {
-                    let mut st = node.st.lock();
-                    if st.page_mut(p).valid {
-                        st.waiting_page = None;
+                    if try_complete(node, p) {
                         break;
                     }
+                    // An out-of-band recovery reply arrived but our copy
+                    // still cannot complete (the reply covered someone
+                    // else's missing diffs, or part of ours was lost):
+                    // re-evaluate and re-request what is still missing now,
+                    // instead of sleeping out another full `rse_timeout`.
+                    retries += 1;
+                    check_recovery_budget(node, p, me, retries, max_retries);
+                    send_recovery_requests(node, p, me);
                 }
                 DsmMsg::WakePage { page } => {
                     debug_assert_ne!(page, p); // handled above
@@ -207,26 +217,17 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
                 // sends out a request asking for its missing diffs
                 // regardless of other threads ... and the replies are
                 // multicast to all threads."
-                let plan = node.st.lock().fetch_plan(p);
-                let mut owners: Vec<NodeId> = plan.keys().copied().collect();
-                owners.sort_unstable();
-                for owner in owners {
-                    let msg = DsmMsg::RecoveryRequest {
-                        page: p,
-                        ivxs: plan[&owner].clone(),
-                        requester: me,
-                        reply_mcast: true,
-                    };
-                    let size = msg.wire_size();
-                    node.nic.unicast(
-                        node.ctx(),
-                        owner,
-                        node.topo.handler_pids[owner],
-                        MsgClass::DiffRequest,
-                        size,
-                        msg,
-                    );
+                //
+                // Re-check completability first: the diffs may all have
+                // arrived without a wakeup reaching us, and a resend loop
+                // with an empty fetch plan would otherwise re-arm forever
+                // sending nothing.
+                if try_complete(node, p) {
+                    break;
                 }
+                retries += 1;
+                check_recovery_budget(node, p, me, retries, max_retries);
+                send_recovery_requests(node, p, me);
             }
         }
     }
@@ -236,6 +237,71 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
         node.topo.stats.on_diff_request_complete(me, waited);
     }
     Ok(())
+}
+
+/// If the waited-on page is already valid — or every diff it needs is
+/// cached — finish the fault locally and return true.
+fn try_complete(node: &DsmNode, p: PageId) -> bool {
+    let mut st = node.st.lock();
+    if st.page_mut(p).valid {
+        st.waiting_page = None;
+        return true;
+    }
+    if st.can_complete(p) {
+        let cost = st.apply_cached_diffs(p);
+        st.waiting_page = None;
+        drop(st);
+        node.ctx().charge(cost);
+        return true;
+    }
+    false
+}
+
+/// Unicast a §5.4.2 recovery request to every owner of a still-missing
+/// diff. The owners reply with out-of-band multicasts ([`OOB_SEQ`]).
+fn send_recovery_requests(node: &DsmNode, p: PageId, me: NodeId) {
+    let plan = {
+        let mut st = node.st.lock();
+        st.recovery_rounds += 1;
+        st.fetch_plan(p)
+    };
+    let mut owners: Vec<NodeId> = plan.keys().copied().collect();
+    owners.sort_unstable();
+    for owner in owners {
+        let msg = DsmMsg::RecoveryRequest {
+            page: p,
+            ivxs: plan[&owner].clone(),
+            requester: me,
+            reply_mcast: true,
+        };
+        let size = msg.wire_size();
+        node.nic.unicast(
+            node.ctx(),
+            owner,
+            node.topo.handler_pids[owner],
+            MsgClass::DiffRequest,
+            size,
+            msg,
+        );
+    }
+}
+
+/// A recovery that never converges points at a protocol bug or a dead
+/// owner, not at bad luck — every retry re-requests every missing diff, so
+/// the expected number of rounds under any survivable loss rate is tiny.
+/// Fail loudly with the exact state instead of looping forever.
+fn check_recovery_budget(node: &DsmNode, p: PageId, me: NodeId, retries: u32, max_retries: u32) {
+    if retries <= max_retries {
+        return;
+    }
+    let mut st = node.st.lock();
+    let missing = st.fetch_plan(p);
+    let valid = st.page_mut(p).valid;
+    let waiting = st.waiting_page;
+    panic!(
+        "node {me}: page {p}: §5.4.2 recovery did not converge after {max_retries} \
+         retries; still missing diffs {missing:?} (valid={valid}, waiting={waiting:?})"
+    );
 }
 
 // =================================================================
@@ -256,6 +322,12 @@ pub(crate) fn master_enqueue(
     wanted: Vec<(NodeId, u32)>,
     requester: NodeId,
 ) -> Option<DsmMsg> {
+    if !st.in_rse {
+        // The section this request belongs to already ended: its requester
+        // completed via timeout recovery while the request was in flight.
+        // Forwarding it now would start a zombie chain in a later section.
+        return None;
+    }
     if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
         let req_seq = st.mcast_next_seq;
         st.mcast_next_seq += 1;
@@ -303,7 +375,7 @@ pub(crate) fn on_forward(
         let (cost, diffs) = st.serve_diff_request(page, &my_ivxs);
         return Some((DsmMsg::McastDiffReply { page, diffs, turn: me, req_seq }, cost));
     }
-    st.chains.insert(req_seq, ChainState { page, wanted, requester, next_turn: 0 });
+    st.chains.insert(req_seq, ChainState { page, wanted, requester, next_turn: 0, holes: 0 });
     take_turn(st, req_seq)
 }
 
@@ -329,13 +401,34 @@ pub(crate) fn take_turn(st: &mut NodeState, req_seq: u64) -> Option<(DsmMsg, rep
 }
 
 /// Record that turn `turn` of chain `req_seq` was observed. Returns true if
-/// the chain completed (every node has spoken).
+/// the chain completed (the last node has spoken).
+///
+/// Turns can arrive with gaps: a dropped turn frame means the next observed
+/// turn skips the lost node(s). The chain must tolerate that explicitly —
+/// advance to `max(next_turn, turn + 1)`, record the hole — rather than
+/// assert turn-by-turn delivery, because the node whose frame was lost has
+/// already taken its turn and will not retransmit; the requester's timeout
+/// recovery (§5.4.2) fetches the missing diffs directly. Duplicate or
+/// late-arriving turns (`turn < next_turn`) are ignored.
 pub(crate) fn advance_chain(st: &mut NodeState, req_seq: u64, turn: NodeId) -> bool {
     let n = st.n;
     let Some(chain) = st.chains.get_mut(&req_seq) else {
         return false;
     };
-    debug_assert_eq!(chain.next_turn, turn, "chain turn out of order");
+    if turn < chain.next_turn {
+        // A duplicate or a frame that arrived after the chain moved past
+        // it: the chain state must not move backwards.
+        return false;
+    }
+    let holes = (turn - chain.next_turn) as u64;
+    if holes > 0 {
+        // Turns [next_turn, turn) were lost on this node's link. Count
+        // them so the torture harness can assert the recovery path was
+        // actually exercised; completion below no longer implies every
+        // node's diffs were observed.
+        chain.holes += holes;
+        st.chain_holes += holes;
+    }
     chain.next_turn = turn + 1;
     if chain.next_turn == n {
         st.chains.remove(&req_seq);
@@ -378,4 +471,70 @@ pub(crate) fn multicast_to_handlers(
 ) {
     let size = msg.wire_size();
     node_nic.multicast(ctx, &topo.all_handlers(), class, size, msg);
+}
+
+// =================================================================
+// Unit tests for the chain-advance bookkeeping (the gap-tolerance
+// regression: see `advance_chain`'s doc comment).
+// =================================================================
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::config::DsmConfig;
+
+    fn state_with_chain(n: usize, req_seq: u64) -> NodeState {
+        let mut st = NodeState::new(1, n, DsmConfig::default(), Arc::new(HashMap::new()));
+        st.chains.insert(
+            req_seq,
+            ChainState { page: 7, wanted: Vec::new(), requester: 0, next_turn: 0, holes: 0 },
+        );
+        st
+    }
+
+    /// A dropped turn frame must not wedge the chain: the next observed
+    /// turn skips over it and the skip is recorded as a hole.
+    #[test]
+    fn advance_chain_tolerates_turn_gaps() {
+        let mut st = state_with_chain(4, 0);
+        assert!(!advance_chain(&mut st, 0, 0));
+        // Turn 1's frame was lost on this node's link; turn 2 arrives next.
+        assert!(!advance_chain(&mut st, 0, 2));
+        assert_eq!(st.chains[&0].holes, 1);
+        assert_eq!(st.chain_holes, 1);
+        assert!(advance_chain(&mut st, 0, 3), "last turn completes the chain");
+        assert!(st.chains.is_empty());
+        assert_eq!(st.chain_holes, 1, "node-level hole count survives chain retirement");
+    }
+
+    /// Duplicates and frames arriving after the chain moved past their turn
+    /// must not move the chain backwards or recount holes.
+    #[test]
+    fn advance_chain_ignores_duplicate_and_late_turns() {
+        let mut st = state_with_chain(4, 9);
+        assert!(!advance_chain(&mut st, 9, 1));
+        assert_eq!(st.chain_holes, 1); // turn 0 was skipped
+        assert!(!advance_chain(&mut st, 9, 0)); // late copy of turn 0
+        assert!(!advance_chain(&mut st, 9, 1)); // duplicate of turn 1
+        assert_eq!(st.chains[&9].next_turn, 2);
+        assert_eq!(st.chain_holes, 1);
+        // Turns for unknown chains (already retired, or never forwarded
+        // here) are a no-op.
+        assert!(!advance_chain(&mut st, 42, 0));
+        assert_eq!(st.chain_holes, 1);
+    }
+
+    /// Even if every turn but the last is lost, the final frame completes
+    /// the chain — with all missing turns on the books, so completion is
+    /// never mistaken for full delivery.
+    #[test]
+    fn advance_chain_completes_past_trailing_gap() {
+        let mut st = state_with_chain(3, 2);
+        assert!(advance_chain(&mut st, 2, 2));
+        assert!(st.chains.is_empty());
+        assert_eq!(st.chain_holes, 2);
+    }
 }

@@ -109,6 +109,25 @@ impl DsmNode {
         &self.topo.stats
     }
 
+    /// The shared page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The bytes of page `p` as a local read would see them, or `None` if
+    /// this node's copy is invalid. Read-only — takes no faults, sends no
+    /// messages, charges no time. This is the coherence oracle's window
+    /// into each node's memory.
+    pub fn inspect_page(&self, p: PageId) -> Option<Vec<u8>> {
+        self.st.lock().inspect_page(p)
+    }
+
+    /// Snapshot this node's replicated-section protocol state for invariant
+    /// checks (see [`crate::RseProbe`]).
+    pub fn rse_probe(&self) -> crate::state::RseProbe {
+        self.st.lock().rse_probe()
+    }
+
     // ---------------------------------------------------------------
     // Shared-memory access (the software MMU)
     // ---------------------------------------------------------------
@@ -207,6 +226,10 @@ impl DsmNode {
                 true
             }
             DsmMsg::WakePage { .. } => true,
+            // A duplicate reply from the resend layer whose original won
+            // the race: only fetch loops consume replies (matched by
+            // req_id), so outside one a reply is always stale.
+            DsmMsg::DiffReply { .. } => true,
             _ => false,
         }
     }
@@ -251,7 +274,7 @@ impl DsmNode {
             let mut owners: Vec<NodeId> = plan.keys().copied().collect();
             owners.sort_unstable();
             let mut outstanding: HashSet<NodeId> = HashSet::new();
-            for owner in owners {
+            for &owner in &owners {
                 let ivxs = plan[&owner].clone();
                 debug_assert_ne!(owner, node, "own diffs are always cached");
                 let msg = DsmMsg::DiffRequest { page: p, ivxs, reply_to: self.ctx.pid(), req_id };
@@ -266,8 +289,44 @@ impl DsmNode {
                 );
                 outstanding.insert(owner);
             }
+            // The unicast transport is logically reliable (TreadMarks ran
+            // its own reliability layer over UDP): when loss injection is
+            // allowed to touch diff frames, that layer is this resend loop.
+            let (timeout, max_retries) = {
+                let st = self.st.lock();
+                (st.cfg.rse_timeout, st.cfg.rse_max_retries)
+            };
+            let mut retries: u32 = 0;
             while !outstanding.is_empty() {
-                let env = self.ctx.recv()?;
+                let env = match self.ctx.recv_timeout(timeout)? {
+                    Some(env) => env,
+                    None => {
+                        retries += 1;
+                        assert!(
+                            retries <= max_retries,
+                            "node {node}: diff fetch for page {p} incomplete after \
+                             {retries} resends (owners still outstanding: {outstanding:?})"
+                        );
+                        for &owner in owners.iter().filter(|o| outstanding.contains(o)) {
+                            let msg = DsmMsg::DiffRequest {
+                                page: p,
+                                ivxs: plan[&owner].clone(),
+                                reply_to: self.ctx.pid(),
+                                req_id,
+                            };
+                            let size = msg.wire_size();
+                            self.nic.unicast(
+                                &self.ctx,
+                                owner,
+                                self.topo.handler_pids[owner],
+                                MsgClass::DiffRequest,
+                                size,
+                                msg,
+                            );
+                        }
+                        continue;
+                    }
+                };
                 match env.msg {
                     DsmMsg::DiffReply { page, diffs, req_id: rid } if rid == req_id => {
                         debug_assert_eq!(page, p);
@@ -501,7 +560,7 @@ impl DsmNode {
                     self.st.lock().merge_valid_deltas(&deltas);
                     self.ctx.charge(self.sync_cost());
                 }
-                DsmMsg::WakePage { .. } => {}
+                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
                 other => panic!("node {node}: unexpected {} while parked", other.kind()),
             }
         }

@@ -64,6 +64,52 @@ pub struct ChainState {
     pub requester: NodeId,
     /// Whose turn it is to multicast next.
     pub next_turn: NodeId,
+    /// Turns this node never observed (dropped frames skipped over when a
+    /// later turn arrived). A chain that completes with holes did NOT
+    /// deliver every node's diffs here; timeout recovery fills the gap.
+    pub holes: u64,
+}
+
+/// Snapshot of one reply chain, taken by [`NodeState::rse_probe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainProbe {
+    pub req_seq: u64,
+    pub page: PageId,
+    pub requester: NodeId,
+    pub next_turn: NodeId,
+    pub holes: u64,
+}
+
+/// A read-only snapshot of one node's replicated-section protocol state
+/// (see [`NodeState::rse_probe`]). `repseq-check` asserts over these after
+/// every torture run: at quiescence, `chains`, `mcast_queue_len`,
+/// `mcast_inflight`, `rse_requested` and `waiting_page` must all be empty,
+/// and `in_rse` false.
+#[derive(Debug, Clone)]
+pub struct RseProbe {
+    pub node: NodeId,
+    pub in_rse: bool,
+    pub chains: Vec<ChainProbe>,
+    pub mcast_queue_len: usize,
+    pub mcast_inflight: Option<u64>,
+    pub rse_requested: Vec<PageId>,
+    pub waiting_page: Option<PageId>,
+    pub chain_holes: u64,
+    pub recovery_rounds: u64,
+}
+
+impl RseProbe {
+    /// True when nothing of the replicated-section machinery is left
+    /// behind: the invariant every node must satisfy once a run (or a
+    /// section) has fully retired.
+    pub fn is_quiescent(&self) -> bool {
+        !self.in_rse
+            && self.chains.is_empty()
+            && self.mcast_queue_len == 0
+            && self.mcast_inflight.is_none()
+            && self.rse_requested.is_empty()
+            && self.waiting_page.is_none()
+    }
 }
 
 /// One node's complete protocol state. Shared (behind a mutex) between the
@@ -116,6 +162,14 @@ pub struct NodeState {
     pub waiting_page: Option<PageId>,
     /// Active reply chains, by request sequence number.
     pub chains: HashMap<u64, ChainState>,
+    /// Total chain turns this node skipped over because the frame was lost
+    /// (see [`ChainState::holes`]); monotone over the whole run, so the
+    /// torture harness can tell whether a schedule exercised the gap path.
+    pub chain_holes: u64,
+    /// §5.4.2 recovery rounds this node's application initiated (timeouts
+    /// or unproductive out-of-band wakeups that re-requested missing
+    /// diffs); monotone over the run, likewise for harness assertions.
+    pub recovery_rounds: u64,
 
     // ---- master-only multicast serialization (§5.4.2) ----
     pub mcast_queue: VecDeque<QueuedRequest>,
@@ -179,6 +233,8 @@ impl NodeState {
             rse_requested: HashSet::new(),
             waiting_page: None,
             chains: HashMap::new(),
+            chain_holes: 0,
+            recovery_rounds: 0,
             mcast_queue: VecDeque::new(),
             mcast_inflight: None,
             mcast_next_seq: 0,
@@ -551,6 +607,15 @@ impl NodeState {
         }
         self.waiting_page = None;
         self.rse_requested.clear();
+        // Every fault of the section has been satisfied by now (SeqDone /
+        // SeqGo have been exchanged), so any chain still tracked was wedged
+        // by loss and will never advance: its requester already completed
+        // via timeout recovery. Same for the master's forward queue — a
+        // queued request whose requester recovered must not start a zombie
+        // chain in a later section.
+        self.chains.clear();
+        self.mcast_queue.clear();
+        self.mcast_inflight = None;
     }
 
     /// This node's valid-notice delta since the last exchange (§5.4.1).
@@ -576,6 +641,62 @@ impl NodeState {
     pub fn merge_valid_deltas(&mut self, deltas: &[(NodeId, PageId, Vc)]) {
         for (q, p, vc) in deltas {
             self.valid_known[*q].insert(*p, vc.clone());
+        }
+    }
+
+    // ---- inspection (repseq-check) ----
+
+    /// A read-only snapshot of the replicated-section protocol state, for
+    /// invariant checking. Safe to take at any point; never perturbs the
+    /// protocol.
+    pub fn rse_probe(&self) -> RseProbe {
+        let mut chains: Vec<ChainProbe> = self
+            .chains
+            .iter()
+            .map(|(&req_seq, c)| ChainProbe {
+                req_seq,
+                page: c.page,
+                requester: c.requester,
+                next_turn: c.next_turn,
+                holes: c.holes,
+            })
+            .collect();
+        chains.sort_by_key(|c| c.req_seq);
+        let mut rse_requested: Vec<PageId> = self.rse_requested.iter().copied().collect();
+        rse_requested.sort_unstable();
+        RseProbe {
+            node: self.node,
+            in_rse: self.in_rse,
+            chains,
+            mcast_queue_len: self.mcast_queue.len(),
+            mcast_inflight: self.mcast_inflight,
+            rse_requested,
+            waiting_page: self.waiting_page,
+            chain_holes: self.chain_holes,
+            recovery_rounds: self.recovery_rounds,
+        }
+    }
+
+    /// The bytes of page `p` as a local read would see them, or `None` if
+    /// the local copy is invalid. Read-only: unlike `page_data`, an
+    /// untouched page is *not* materialized into the page table — the lazy
+    /// initial image is copied out instead — so inspection never perturbs
+    /// protocol state.
+    pub fn inspect_page(&self, p: PageId) -> Option<Vec<u8>> {
+        match self.pages.get(&p) {
+            Some(pg) if !pg.valid => None,
+            Some(pg) => Some(match &pg.data {
+                Some(d) => d.to_vec(),
+                None => self.initial_image(p),
+            }),
+            None => Some(self.initial_image(p)),
+        }
+    }
+
+    fn initial_image(&self, p: PageId) -> Vec<u8> {
+        match self.initial.get(&p) {
+            Some(img) => img.to_vec(),
+            None => vec![0u8; self.cfg.page_size],
         }
     }
 

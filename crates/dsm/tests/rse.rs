@@ -6,10 +6,10 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use repseq_dsm::{Cluster, ClusterConfig, DsmNode, ShArray};
+use repseq_dsm::{Cluster, ClusterConfig, DsmNode, LaunchOutcome, ShArray};
 use repseq_net::LossConfig;
 use repseq_sim::Stopped;
-use repseq_stats::{Section, Stats, StatsRef};
+use repseq_stats::{MsgClass, Section, Stats, StatsRef};
 
 type Apps = Vec<Box<dyn FnOnce(DsmNode) -> Result<(), Stopped> + Send + 'static>>;
 
@@ -378,4 +378,119 @@ fn back_to_back_replicated_sections() {
     });
     cl.launch(apps).unwrap();
     assert_eq!(*out.lock(), 230);
+}
+
+// =================================================================
+// Pinned-seed loss regressions (§5.4.2 recovery path)
+// =================================================================
+
+/// The standard lossy scenario for the pinned-seed regressions below: each
+/// node writes a one-page slice in parallel, then a replicated section
+/// reads all of it, forcing one multicast reply chain per remotely-written
+/// page. Returns the per-node sums plus the full protocol post-mortem
+/// (probes and the deterministic loss log).
+fn lossy_rse_run(drop_per_mille: u32, seed: u64) -> (Vec<u64>, LaunchOutcome) {
+    let n = 3;
+    let stats = Stats::new(n);
+    let mut cfg = ClusterConfig::paper(n);
+    cfg.net.loss = Some(LossConfig::multicast_only(drop_per_mille, seed));
+    cfg.dsm.rse_timeout = repseq_sim::Dur::from_millis(20);
+    let mut cl = Cluster::new(cfg, Arc::clone(&stats));
+    let data: ShArray<u64> = cl.alloc_array_page_aligned::<u64>(3 * 512);
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    let apps = with_slaves(n, move |node: DsmNode| {
+        node.run_parallel(move |nd| {
+            let me = nd.node();
+            let chunk = data.len() / nd.n_nodes();
+            for k in me * chunk..(me + 1) * chunk {
+                data.set(nd, k, k as u64 + 5)?;
+            }
+            Ok(())
+        })?;
+        let sums = Arc::new(Mutex::new(vec![0u64; n]));
+        let sums2 = Arc::clone(&sums);
+        node.run_replicated(move |nd| {
+            let mut s = 0;
+            for k in 0..data.len() {
+                s += data.get(nd, k)?;
+            }
+            sums2.lock()[nd.node()] = s;
+            Ok(())
+        })?;
+        *out2.lock() = sums.lock().clone();
+        node.shutdown_slaves()
+    });
+    let outcome = cl.launch_inspect(apps);
+    outcome.result.as_ref().expect("lossy run must still terminate");
+    let vals = out.lock().clone();
+    (vals, outcome)
+}
+
+/// Convergence + quiescence assertions shared by the pinned-seed tests.
+fn assert_converged(vals: &[u64], outcome: &LaunchOutcome) {
+    let len = (3 * 512) as u64;
+    let expect = (len - 1) * len / 2 + 5 * len;
+    assert_eq!(vals, vec![expect; 3], "recovery must converge to correct values");
+    for p in &outcome.probes {
+        assert!(p.is_quiescent(), "protocol state left behind: {p:?}");
+    }
+}
+
+/// Regression: a null ack dropped mid-chain. The chain must not wait
+/// forever for the lost turn — later turns skip over it (recorded as
+/// holes) and the section still converges. Before the gap-tolerance fix
+/// this schedule wedged the chain on every node that missed the ack.
+/// Seed pinned by scanning: (250‰, seed 0) drops 4 null acks.
+#[test]
+fn dropped_null_ack_mid_chain_converges() {
+    let (vals, outcome) = lossy_rse_run(250, 0);
+    let nacks =
+        outcome.loss_events.iter().filter(|e| e.multicast && e.class == MsgClass::NullAck).count();
+    assert!(nacks > 0, "pinned seed must drop null acks; loss log: {:?}", outcome.loss_events);
+    let holes: u64 = outcome.probes.iter().map(|p| p.chain_holes).sum();
+    assert!(holes > 0, "a skipped turn must be recorded as a chain hole");
+    assert_converged(&vals, &outcome);
+}
+
+/// Regression: a McastDiffReply dropped on the requester's own link — the
+/// one node that cannot proceed without it. The requester's timeout fires
+/// and a §5.4.2 recovery round refetches the diffs directly. Seed pinned
+/// by scanning: (250‰, seed 4) drops chain replies destined for nodes
+/// that then initiated recovery.
+#[test]
+fn dropped_chain_reply_to_requester_is_recovered() {
+    let (vals, outcome) = lossy_rse_run(250, 4);
+    let reply_to_recovering = outcome.loss_events.iter().any(|e| {
+        e.multicast && e.class == MsgClass::DiffReply && outcome.probes[e.dst].recovery_rounds > 0
+    });
+    assert!(
+        reply_to_recovering,
+        "pinned seed must drop a chain reply to a node that then recovered; \
+         probes: {:?}, loss log: {:?}",
+        outcome.probes, outcome.loss_events
+    );
+    assert_converged(&vals, &outcome);
+}
+
+/// Regression: a chain that completes with holes delivered only part of
+/// the wanted diffs; the requester's recovery rounds must fill exactly
+/// that gap. Before the recovery-budget and OOB-reply fixes this schedule
+/// either asserted (turn-order violation) or returned stale zeros.
+/// Seed pinned by scanning: (400‰, seed 4) produces both holes and
+/// recovery rounds.
+#[test]
+fn recovery_completes_pages_the_chain_missed() {
+    let (vals, outcome) = lossy_rse_run(400, 4);
+    assert!(
+        outcome.probes.iter().any(|p| p.chain_holes > 0),
+        "pinned seed must produce chain holes; probes: {:?}",
+        outcome.probes
+    );
+    assert!(
+        outcome.probes.iter().any(|p| p.recovery_rounds > 0),
+        "pinned seed must exercise §5.4.2 recovery; probes: {:?}",
+        outcome.probes
+    );
+    assert_converged(&vals, &outcome);
 }

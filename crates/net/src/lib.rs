@@ -16,4 +16,4 @@ mod loss;
 mod network;
 
 pub use config::{LossConfig, NetConfig};
-pub use network::{Network, Nic};
+pub use network::{LossEvent, Network, Nic};

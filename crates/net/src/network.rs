@@ -34,12 +34,33 @@ struct Links {
     hub_free: SimTime,
 }
 
+/// One frame the loss injector decided to drop. The log lets a failing
+/// torture schedule report the exact loss decision that triggered the
+/// recovery path under test, instead of forcing a bisect over seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossEvent {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node whose copy was dropped (for multicast, one entry per
+    /// affected destination).
+    pub dst: NodeId,
+    /// Per-(src, dst) frame sequence number the decision was keyed on.
+    pub pair_seq: u64,
+    /// Frame classification.
+    pub class: MsgClass,
+    /// Virtual time the frame would have been delivered at.
+    pub at: SimTime,
+    /// Whether the frame travelled on the hub (multicast) or the switch.
+    pub multicast: bool,
+}
+
 /// The cluster interconnect. One per simulation; hand a [`Nic`] to each
 /// node.
 pub struct Network {
     cfg: NetConfig,
     links: Mutex<Links>,
     loss: Option<Mutex<LossState>>,
+    drop_log: Mutex<Vec<LossEvent>>,
     stats: StatsRef,
 }
 
@@ -56,6 +77,7 @@ impl Network {
                 rx_free: vec![SimTime::ZERO; n],
                 hub_free: SimTime::ZERO,
             }),
+            drop_log: Mutex::new(Vec::new()),
             stats,
         })
     }
@@ -63,6 +85,11 @@ impl Network {
     /// The configuration this network was built with.
     pub fn config(&self) -> &NetConfig {
         &self.cfg
+    }
+
+    /// Every frame the loss injector dropped so far, in decision order.
+    pub fn loss_events(&self) -> Vec<LossEvent> {
+        self.drop_log.lock().clone()
     }
 
     /// A handle for `node` to send through.
@@ -131,7 +158,7 @@ impl Nic {
             }
         };
         let at = deliver_at + cfg.recv_sw_overhead;
-        if !self.dropped_unicast(payload_bytes, dst_node) {
+        if !self.dropped_unicast(class, dst_node, at) {
             ctx.send(dst, msg, at);
         }
         at
@@ -164,7 +191,7 @@ impl Nic {
         };
         let at = deliver_at + cfg.recv_sw_overhead;
         for &(dst_node, dst) in dsts {
-            if self.dropped(payload_bytes, dst_node) {
+            if self.dropped(class, dst_node, at, true) {
                 continue;
             }
             ctx.send(dst, msg.clone(), at);
@@ -211,15 +238,29 @@ impl Nic {
         ctx.send(dst, msg, ctx.now());
     }
 
-    fn dropped(&self, payload_bytes: u64, dst_node: NodeId) -> bool {
-        match &self.net.loss {
-            None => false,
-            Some(l) => l.lock().drop_frame(self.node, dst_node, payload_bytes),
+    fn dropped(&self, class: MsgClass, dst_node: NodeId, at: SimTime, multicast: bool) -> bool {
+        let Some(l) = &self.net.loss else { return false };
+        let (drop, pair_seq) = l.lock().drop_frame(self.node, dst_node, multicast);
+        if drop {
+            self.net.drop_log.lock().push(LossEvent {
+                src: self.node,
+                dst: dst_node,
+                pair_seq,
+                class,
+                at,
+                multicast,
+            });
         }
+        drop
     }
 
-    fn dropped_unicast(&self, payload_bytes: u64, dst_node: NodeId) -> bool {
+    /// Unicast loss applies only to diff-protocol frames (requests, replies
+    /// and flow-control acks): the DSM runs its synchronization traffic
+    /// (fork/join, barriers, locks) over a transport it treats as reliable,
+    /// so dropping those frames would model a failure mode the protocol
+    /// does not claim to survive.
+    fn dropped_unicast(&self, class: MsgClass, dst_node: NodeId, at: SimTime) -> bool {
         let applies = self.net.config().loss.map(|l| l.unicast).unwrap_or(false);
-        applies && self.dropped(payload_bytes, dst_node)
+        applies && class.is_diff_message() && self.dropped(class, dst_node, at, false)
     }
 }

@@ -265,7 +265,7 @@ fn loss_injection_extremes() {
         let nic0 = net.nic(0);
         sim.spawn("sender", move |ctx| {
             for i in 0..10 {
-                nic0.unicast(&ctx, 1, 1, MsgClass::Other, 100, i);
+                nic0.unicast(&ctx, 1, 1, MsgClass::DiffReply, 100, i);
             }
             // Keep the run alive until all surviving frames are delivered.
             ctx.sleep(Dur::from_secs(1))?;
@@ -328,6 +328,92 @@ fn contention_raises_response_time() {
         max > min * 5,
         "the last-served client must wait behind the queue: min {min}, max {max}"
     );
+}
+
+/// Turning unicast loss on must not perturb the multicast drop sequence:
+/// decisions are keyed per (src, dst, medium), not on a shared call
+/// counter, so the same seed pins the same multicast schedule regardless of
+/// what the switch is doing.
+#[test]
+fn unicast_loss_does_not_perturb_multicast_drops() {
+    let run = |unicast: bool| {
+        let mut cfg = cfg4();
+        cfg.loss = Some(LossConfig { drop_per_mille: 400, seed: 77, unicast });
+        let stats = Stats::new(4);
+        let net = Network::new(cfg, stats);
+        let mut sim = Sim::<u64>::new();
+        let nic0 = net.nic(0);
+        sim.spawn("sender", move |ctx| {
+            for i in 0..200u64 {
+                // Unicast diff traffic interleaved with the multicast
+                // stream, including to the same destination node.
+                nic0.unicast(&ctx, 1, 1, MsgClass::DiffRequest, 128, 10_000 + i);
+                nic0.unicast(&ctx, 2, 2, MsgClass::DiffRequest, 128, 20_000 + i);
+                nic0.multicast(&ctx, &[(1, 1), (3, 3)], MsgClass::DiffReply, 1024, i);
+            }
+            // Keep the run alive until all surviving frames are delivered.
+            ctx.sleep(Dur::from_secs(2))?;
+            Ok(())
+        });
+        let got = Arc::new(Mutex::new(Vec::<(usize, u64)>::new()));
+        for pid in [1usize, 2, 3] {
+            let got = Arc::clone(&got);
+            sim.spawn_daemon(&format!("r{pid}"), move |ctx| {
+                while let Ok(env) = ctx.recv() {
+                    if env.msg < 10_000 {
+                        got.lock().push((pid, env.msg));
+                    }
+                }
+                Ok(())
+            });
+        }
+        sim.run().unwrap();
+        let mut delivered = got.lock().clone();
+        delivered.sort_unstable();
+        let mcast_drops: Vec<_> = net
+            .loss_events()
+            .into_iter()
+            .filter(|e| e.multicast)
+            .map(|e| (e.src, e.dst, e.pair_seq))
+            .collect();
+        (delivered, mcast_drops)
+    };
+    let (deliv_off, drops_off) = run(false);
+    let (deliv_on, drops_on) = run(true);
+    assert!(!drops_off.is_empty(), "the schedule must actually drop multicast frames");
+    assert_eq!(deliv_off, deliv_on, "multicast deliveries must not depend on unicast loss");
+    assert_eq!(drops_off, drops_on, "multicast drop decisions must not depend on unicast loss");
+}
+
+/// Sync-class unicast frames are exempt from loss injection even with
+/// unicast loss enabled: the protocol treats its synchronization transport
+/// as reliable.
+#[test]
+fn sync_unicast_frames_are_never_dropped() {
+    let mut cfg = cfg4();
+    cfg.loss = Some(LossConfig { drop_per_mille: 1000, seed: 3, unicast: true });
+    let stats = Stats::new(4);
+    let net = Network::new(cfg, stats);
+    let mut sim = Sim::<u64>::new();
+    let nic0 = net.nic(0);
+    sim.spawn("sender", move |ctx| {
+        for i in 0..10 {
+            nic0.unicast(&ctx, 1, 1, MsgClass::Sync, 64, i);
+        }
+        ctx.sleep(Dur::from_secs(1))?;
+        Ok(())
+    });
+    let got = Arc::new(Mutex::new(0usize));
+    let got2 = Arc::clone(&got);
+    sim.spawn_daemon("receiver", move |ctx| {
+        while ctx.recv().is_ok() {
+            *got2.lock() += 1;
+        }
+        Ok(())
+    });
+    sim.run().unwrap();
+    assert_eq!(*got.lock(), 10, "sync traffic must survive 100% diff-frame loss");
+    assert!(net.loss_events().is_empty());
 }
 
 /// Helper so the test reads naturally.

@@ -144,6 +144,11 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Event trace, if recording was enabled with [`Sim::record_trace`].
     pub trace: Option<Vec<TraceEntry>>,
+    /// Messages still sitting in process mailboxes when the run ended,
+    /// as `(process name, count)` for each non-empty mailbox. A quiescent
+    /// protocol leaves this empty; a wedged recovery path shows up here as
+    /// undelivered traffic.
+    pub mailbox_backlog: Vec<(String, usize)>,
 }
 
 /// A simulation under construction and its runner.
@@ -351,6 +356,12 @@ impl<M: Send + 'static> Sim<M> {
             proc_clocks: k.procs.iter().map(|p| (p.name.clone(), p.clock)).collect(),
             events_processed: k.events_processed,
             trace: k.trace.take(),
+            mailbox_backlog: k
+                .procs
+                .iter()
+                .filter(|p| !p.mailbox.is_empty())
+                .map(|p| (p.name.clone(), p.mailbox.len()))
+                .collect(),
         };
         drop(k);
 

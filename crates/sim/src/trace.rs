@@ -27,3 +27,32 @@ impl TraceEntry {
         TraceEntry { time: ev.time, seq: ev.seq, pid, is_delivery }
     }
 }
+
+/// Where two event traces first disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both traces of the first mismatch (equal to the shorter
+    /// length if one trace is a strict prefix of the other).
+    pub index: usize,
+    /// The entry at that index in the first trace, if any.
+    pub a: Option<TraceEntry>,
+    /// The entry at that index in the second trace, if any.
+    pub b: Option<TraceEntry>,
+}
+
+/// Compare two traces entry by entry and report the first point where they
+/// differ, or `None` if they are identical. Failure reports use this to name
+/// the first kernel event at which a lossy schedule departed from a clean
+/// run of the same workload.
+pub fn first_divergence(a: &[TraceEntry], b: &[TraceEntry]) -> Option<Divergence> {
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        if a[i] != b[i] {
+            return Some(Divergence { index: i, a: Some(a[i]), b: Some(b[i]) });
+        }
+    }
+    if a.len() != b.len() {
+        return Some(Divergence { index: n, a: a.get(n).copied(), b: b.get(n).copied() });
+    }
+    None
+}
