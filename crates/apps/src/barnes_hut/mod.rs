@@ -195,16 +195,22 @@ impl BarnesHut {
                 let mass = nd.read_all(h.mass)?;
                 let lo = h.bounds.get(nd, me)? as usize;
                 let hi = h.bounds.get(nd, me + 1)? as usize;
-                let mut my_order = vec![0u32; hi - lo];
-                h.order.read_range(nd, lo, &mut my_order)?;
-                for &b in &my_order {
-                    let b = b as usize;
-                    let (acc, inter) = force_on(&cells, n, &pos, &mass, b, cfgq.theta, cfgq.eps2);
-                    nd.charge(Dur::from_secs_f64(inter as f64 * cfgq.interaction_ns * 1e-9));
-                    h.acc.set(nd, b, acc)?;
-                    h.work.set(nd, b, inter as f64)?;
-                }
-                Ok(())
+                // Guard-based rewrite: iterate the Morton segment straight
+                // from the page bytes (one read fault per order page, no
+                // intermediate vector). The scattered per-body acc/work
+                // writes stay element-wise — amortizing those is the
+                // software TLB's job.
+                h.order.with_slices(nd, lo..hi, |run| {
+                    for j in 0..run.len() {
+                        let b = run.get(j) as usize;
+                        let (acc, inter) =
+                            force_on(&cells, n, &pos, &mass, b, cfgq.theta, cfgq.eps2);
+                        nd.charge(Dur::from_secs_f64(inter as f64 * cfgq.interaction_ns * 1e-9));
+                        h.acc.set(nd, b, acc)?;
+                        h.work.set(nd, b, inter as f64)?;
+                    }
+                    Ok(())
+                })
             })?;
 
             // ---- parallel section: kinematic update of own particles ----
@@ -213,22 +219,22 @@ impl BarnesHut {
                 let me = nd.node();
                 let lo = h.bounds.get(nd, me)? as usize;
                 let hi = h.bounds.get(nd, me + 1)? as usize;
-                let mut my_order = vec![0u32; hi - lo];
-                h.order.read_range(nd, lo, &mut my_order)?;
-                for &b in &my_order {
-                    let b = b as usize;
-                    let a = h.acc.get(nd, b)?;
-                    let mut v = h.vel.get(nd, b)?;
-                    let mut p = h.pos.get(nd, b)?;
-                    for d in 0..3 {
-                        v[d] += a[d] * cfgq.dt;
-                        p[d] += v[d] * cfgq.dt;
+                h.order.with_slices(nd, lo..hi, |run| {
+                    for j in 0..run.len() {
+                        let b = run.get(j) as usize;
+                        let a = h.acc.get(nd, b)?;
+                        let mut v = h.vel.get(nd, b)?;
+                        let mut p = h.pos.get(nd, b)?;
+                        for d in 0..3 {
+                            v[d] += a[d] * cfgq.dt;
+                            p[d] += v[d] * cfgq.dt;
+                        }
+                        h.vel.set(nd, b, v)?;
+                        h.pos.set(nd, b, p)?;
+                        nd.charge(Dur::from_secs_f64(cfgq.update_ns * 1e-9));
                     }
-                    h.vel.set(nd, b, v)?;
-                    h.pos.set(nd, b, p)?;
-                    nd.charge(Dur::from_secs_f64(cfgq.update_ns * 1e-9));
-                }
-                Ok(())
+                    Ok(())
+                })
             })?;
         }
         team.end_measurement();

@@ -237,12 +237,17 @@ impl Ilink {
                 let (members, len) = (fam.members, cfg.genarray_len);
                 let cfgq = cfg.clone();
                 team.sequential(move |nd| {
-                    let mut row = vec![0.0f64; len];
+                    // Guard-based rewrite: one write fault per page, values
+                    // computed straight into the page bytes (no row buffer).
                     for m in 0..members {
-                        for (e, slot) in row.iter_mut().enumerate() {
-                            *slot = base_value(iter, fam_id, m, e);
-                        }
-                        h.bank.write_range(nd, m * len, &row)?;
+                        h.bank.with_slices_mut(nd, m * len..(m + 1) * len, |run| {
+                            let first = run.first_index();
+                            for j in 0..run.len() {
+                                let e = first + j - m * len;
+                                run.set(j, base_value(iter, fam_id, m, e));
+                            }
+                            Ok(())
+                        })?;
                     }
                     nd.charge(Dur::from_secs_f64(
                         members as f64 * len as f64 * cfgq.init_ns * 1e-9,
@@ -266,13 +271,36 @@ impl Ilink {
                         let famp = famq.clone();
                         team.parallel(move |nd| {
                             let me = nd.node();
+                            let stride = nd.n_nodes();
+                            let ps = nd.page_size();
                             let rows = Self::read_clusters(nd, &h, &famp, len)?;
                             let start = famp.nz_start[target];
                             let mut visited = 0u64;
-                            for k in (me..nnz).step_by(nd.n_nodes()) {
-                                let val = Self::entry_value(&famp, &rows, target, k);
-                                h.bank.set(nd, target * len + start + k, val)?;
-                                visited += 1;
+                            // Guard-based rewrite of the cyclic update: walk
+                            // the assigned entries one page at a time, taking
+                            // the write fault once per page and setting only
+                            // this node's strided positions (the pages
+                            // faulted — and the bytes written — are exactly
+                            // those of the element-wise protocol, so the
+                            // multiple-writer merge is unchanged).
+                            let mut k = me;
+                            while k < nnz {
+                                let idx = target * len + start + k;
+                                let a = h.bank.addr(idx);
+                                let in_page = (a % ps as u64) as usize;
+                                let avail = ((ps - in_page) / 8).min(nnz - k);
+                                let cnt = avail.div_ceil(stride);
+                                let span = (cnt - 1) * stride + 1;
+                                h.bank.with_slices_mut(nd, idx..idx + span, |run| {
+                                    for j in 0..cnt {
+                                        let val =
+                                            Self::entry_value(&famp, &rows, target, k + j * stride);
+                                        run.set(j * stride, val);
+                                        visited += 1;
+                                    }
+                                    Ok(())
+                                })?;
+                                k += cnt * stride;
                             }
                             nd.charge(Dur::from_secs_f64(
                                 visited as f64 * famp.members as f64 * cfgq.entry_ns * 1e-9,

@@ -2,8 +2,13 @@
 //! rewrites a block of pages in a sequential section; every node then reads
 //! all of it in the parallel section. Used by the examples and the
 //! flow-control ablation.
+//!
+//! Both phases run on the page-guard API (`with_slices` /
+//! `with_slices_mut`): the fault is taken once per page and elements
+//! encode/decode straight from the page bytes, with no intermediate
+//! element vector.
 
-use repseq_core::{Stopped, Team, Worker};
+use repseq_core::{Stopped, Team};
 use repseq_dsm::ShArray;
 use repseq_sim::Dur;
 
@@ -51,15 +56,24 @@ impl ContentionKernel {
         for it in 0..cfg.iters {
             let stamp = (it as u64 + 1) * 0x9E37;
             team.sequential(move |nd| {
-                let vals: Vec<u64> =
-                    (0..data.len() as u64).map(|k| k.wrapping_mul(stamp)).collect();
-                data.write_range(nd, 0, &vals)
+                data.with_slices_mut(nd, 0..data.len(), |run| {
+                    let first = run.first_index() as u64;
+                    for j in 0..run.len() {
+                        run.set(j, (first + j as u64).wrapping_mul(stamp));
+                    }
+                    Ok(())
+                })
             })?;
             let read_ns = cfg.read_ns;
             team.parallel(move |nd| {
-                let vals = nd.read_all(data)?;
-                nd.charge(Dur::from_secs_f64(vals.len() as f64 * read_ns * 1e-9));
-                let s = vals.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+                let mut s = 0u64;
+                data.with_slices(nd, 0..data.len(), |run| {
+                    for j in 0..run.len() {
+                        s = s.wrapping_add(run.get(j));
+                    }
+                    Ok(())
+                })?;
+                nd.charge(Dur::from_secs_f64(data.len() as f64 * read_ns * 1e-9));
                 sums.set(nd, nd.node(), s)
             })?;
         }

@@ -1,29 +1,62 @@
-//! Emit the benchmark-trajectory artifacts `BENCH_diff.json` (diff-engine
-//! micro-benchmarks: chunked vs byte-loop baseline, fused vs sequential
-//! apply) and `BENCH_table1.json` (a Table-1-shaped Barnes-Hut run with
-//! simulated times plus the host diff-engine counters).
+//! Emit the benchmark-trajectory artifacts:
+//!
+//! * `BENCH_diff.json` — diff-engine micro-benchmarks (chunked vs
+//!   byte-loop baseline, fused vs sequential apply);
+//! * `BENCH_mmu.json` — software-MMU access-path micro-benchmarks: the
+//!   locked page walk (TLB off) vs the TLB hit path vs the page-guard
+//!   bulk path, in host ns per shared-memory access;
+//! * `BENCH_table1.json` — a Table-1-shaped Barnes-Hut run with simulated
+//!   times, host wall time, and the host data-plane counters.
 //!
 //! Run with `cargo run --release -p repseq-bench --bin bench_json` from the
 //! repository root; the files are written to the current directory. The
 //! checked-in copies record the trajectory at commit time — refresh them
-//! whenever the data plane changes (see DESIGN.md §Performance).
+//! whenever the data plane changes (see DESIGN.md §Performance and
+//! EXPERIMENTS.md for the methodology).
 //!
 //! `REPSEQ_BENCH_SCALE=tiny|default` and `REPSEQ_BENCH_NODES=<n>` size the
-//! table run (defaults: tiny, 8 — small enough to regenerate in seconds).
-//! Timing is hand-rolled (`std::time::Instant`, median of 15 samples)
-//! because binaries cannot see dev-dependencies like the criterion harness.
+//! table run (defaults: tiny, 32 — the paper's cluster size; CI's
+//! bench-smoke job overrides nodes down for speed). Timing is hand-rolled
+//! (`std::time::Instant`, median of 15 samples) because binaries cannot
+//! see dev-dependencies like the criterion harness.
+//!
+//! The harness gates, not just records: it asserts the twin pool absorbs
+//! ≥90% of twin allocations, that the guard path is ≥5x and the TLB hit
+//! path ≥2x faster than the locked baseline, and that the TLB changes
+//! nothing about the simulation (identical virtual time, messages, bytes
+//! with the TLB on and off).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use repseq_apps::barnes_hut::BhResult;
 use repseq_bench::{bh_config, run_barnes, RunOutcome, Scale};
 use repseq_core::SeqMode;
-use repseq_dsm::Diff;
-use repseq_stats::host;
+use repseq_dsm::{Cluster, ClusterConfig, Diff, DsmNode, ShArray};
+use repseq_sim::Stopped;
+use repseq_stats::{host, Stats};
 
 const PAGE: usize = 4096;
 const SAMPLES: usize = 15;
+
+/// Schema of every BENCH_*.json artifact this harness writes. Bump when a
+/// field changes meaning, so trajectory tooling can tell formats apart.
+const SCHEMA_VERSION: u32 = 2;
+
+/// The commit the artifacts were generated at (best effort; "unknown"
+/// outside a git checkout).
+fn commit_id() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
 
 /// Median ns/iteration of `f`, auto-calibrated so each sample runs ≥2 ms.
 fn bench_ns(mut f: impl FnMut()) -> f64 {
@@ -144,10 +177,12 @@ fn scattered_chain(twin: &[u8]) -> Vec<Diff> {
     chain
 }
 
-fn write_bench_diff(cases: &[Case]) -> std::io::Result<()> {
+fn write_bench_diff(cases: &[Case], commit: &str) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"diff_engine\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
     let _ = writeln!(s, "  \"page_size\": {PAGE},");
     s.push_str("  \"unit\": \"ns_per_op_median\",\n");
     s.push_str(
@@ -169,6 +204,115 @@ fn write_bench_diff(cases: &[Case]) -> std::io::Result<()> {
     std::fs::write("BENCH_diff.json", s)
 }
 
+// ---------------------------------------------------------------
+// Software-MMU access-path micro-benchmarks
+// ---------------------------------------------------------------
+
+/// ns per access for the four access paths, measured inside a 1-node
+/// cluster (every page warm, so no faults or messages — pure MMU cost).
+#[derive(Debug, Clone, Copy)]
+struct MmuNumbers {
+    elem_read_ns: f64,
+    elem_write_ns: f64,
+    guard_read_ns: f64,
+    guard_write_ns: f64,
+}
+
+/// Measure element and guard access on a warm 16-page array. `tlb` off
+/// gives the locked page-walk baseline; on gives the TLB-hit path.
+fn mmu_case(tlb: bool) -> MmuNumbers {
+    let stats = Stats::new(1);
+    let mut ccfg = ClusterConfig::paper(1);
+    ccfg.dsm.tlb_enabled = tlb;
+    let mut cl = Cluster::new(ccfg, stats);
+    let len = 16 * PAGE / 8;
+    let arr: ShArray<u64> = cl.alloc_array_page_aligned(len);
+    let out = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let app = move |node: DsmNode| -> Result<(), Stopped> {
+        // Warm every page: one write fault each, pages stay writable.
+        arr.with_slices_mut(&node, 0..len, |run| {
+            for j in 0..run.len() {
+                run.set(j, j as u64);
+            }
+            Ok(())
+        })?;
+        let mut i = 0usize;
+        let elem_read_ns = bench_ns(|| {
+            i = (i + 129) % len;
+            std::hint::black_box(arr.get(&node, i).unwrap());
+        });
+        let mut i = 0usize;
+        let elem_write_ns = bench_ns(|| {
+            i = (i + 129) % len;
+            arr.set(&node, i, i as u64 ^ 0x5A).unwrap();
+        });
+        let guard_read_ns = bench_ns(|| {
+            let mut s = 0u64;
+            arr.with_slices(&node, 0..len, |run| {
+                for j in 0..run.len() {
+                    s = s.wrapping_add(run.get(j));
+                }
+                Ok(())
+            })
+            .unwrap();
+            std::hint::black_box(s);
+        }) / len as f64;
+        let guard_write_ns = bench_ns(|| {
+            arr.with_slices_mut(&node, 0..len, |run| {
+                for j in 0..run.len() {
+                    run.set(j, j as u64 ^ 0xA5);
+                }
+                Ok(())
+            })
+            .unwrap();
+        }) / len as f64;
+        *out2.lock() =
+            Some(MmuNumbers { elem_read_ns, elem_write_ns, guard_read_ns, guard_write_ns });
+        Ok(())
+    };
+    #[allow(clippy::type_complexity)]
+    let apps: Vec<Box<dyn FnOnce(DsmNode) -> Result<(), Stopped> + Send>> = vec![Box::new(app)];
+    cl.launch(apps).expect("mmu bench run failed");
+    let nums = out.lock().take().expect("mmu bench produced no numbers");
+    nums
+}
+
+fn write_bench_mmu(off: &MmuNumbers, on: &MmuNumbers, commit: &str) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"software_mmu\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
+    let _ = writeln!(s, "  \"page_size\": {PAGE},");
+    s.push_str("  \"unit\": \"ns_per_access_median\",\n");
+    s.push_str(
+        "  \"note\": \"warm 16-page u64 array on a 1-node cluster; locked_baseline = TLB disabled (mutex + page walk per access); tlb_hit = per-element fast path; guard = with_slices bulk path, amortized per element\",\n",
+    );
+    let _ = writeln!(
+        s,
+        "  \"locked_baseline\": {{\"read_ns\": {:.1}, \"write_ns\": {:.1}}},",
+        off.elem_read_ns, off.elem_write_ns
+    );
+    let _ = writeln!(
+        s,
+        "  \"tlb_hit\": {{\"read_ns\": {:.1}, \"write_ns\": {:.1}}},",
+        on.elem_read_ns, on.elem_write_ns
+    );
+    let _ = writeln!(
+        s,
+        "  \"guard\": {{\"read_ns\": {:.2}, \"write_ns\": {:.2}}},",
+        on.guard_read_ns, on.guard_write_ns
+    );
+    let _ = writeln!(s, "  \"speedup_tlb_read\": {:.2},", off.elem_read_ns / on.elem_read_ns);
+    let _ = writeln!(s, "  \"speedup_tlb_write\": {:.2},", off.elem_write_ns / on.elem_write_ns);
+    let _ = writeln!(s, "  \"speedup_guard_read\": {:.2},", off.elem_read_ns / on.guard_read_ns);
+    let _ = writeln!(s, "  \"speedup_guard_write\": {:.2}", off.elem_write_ns / on.guard_write_ns);
+    s.push_str("}\n");
+    std::fs::write("BENCH_mmu.json", s)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_bench_table1(
     scale: Scale,
     n: usize,
@@ -176,13 +320,26 @@ fn write_bench_table1(
     orig: &RunOutcome<BhResult>,
     opt: &RunOutcome<BhResult>,
     host: &host::HostCounters,
+    host_wall_s: f64,
+    commit: &str,
 ) -> std::io::Result<()> {
     let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
+    let hit_rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"table1_barnes_hut\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
     let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
     let _ = writeln!(s, "  \"nodes\": {n},");
+    let _ = writeln!(s, "  \"host_wall_s\": {host_wall_s:.3},");
     s.push_str("  \"simulated\": {\n");
     let _ = writeln!(s, "    \"sequential_time_s\": {:.6},", t(seq));
     let _ = writeln!(s, "    \"original_time_s\": {:.6},", t(orig));
@@ -190,7 +347,8 @@ fn write_bench_table1(
     let _ = writeln!(s, "    \"original_speedup\": {:.3},", t(seq) / t(orig));
     let _ = writeln!(s, "    \"optimized_speedup\": {:.3}", t(seq) / t(opt));
     s.push_str("  },\n");
-    s.push_str("  \"host_diff_engine\": {\n");
+    s.push_str("  \"tlb_invariance\": \"verified: identical virtual time, messages and bytes with the TLB on and off\",\n");
+    s.push_str("  \"host_data_plane\": {\n");
     let _ = writeln!(s, "    \"diff_create_calls\": {},", host.diff_create_calls);
     let _ = writeln!(s, "    \"diff_create_ns\": {},", host.diff_create_ns);
     let _ = writeln!(s, "    \"diff_create_bytes_scanned\": {},", host.diff_create_bytes);
@@ -198,12 +356,21 @@ fn write_bench_table1(
     let _ = writeln!(s, "    \"diff_apply_ns\": {},", host.diff_apply_ns);
     let _ = writeln!(s, "    \"diff_apply_bytes_copied\": {},", host.diff_apply_bytes);
     let _ = writeln!(s, "    \"twin_pool_hits\": {},", host.twin_pool_hits);
-    let _ = writeln!(s, "    \"twin_pool_misses\": {}", host.twin_pool_misses);
+    let _ = writeln!(s, "    \"twin_pool_misses\": {},", host.twin_pool_misses);
+    let _ = writeln!(
+        s,
+        "    \"twin_pool_hit_rate\": {:.4},",
+        hit_rate(host.twin_pool_hits, host.twin_pool_misses)
+    );
+    let _ = writeln!(s, "    \"tlb_hits\": {},", host.tlb_hits);
+    let _ = writeln!(s, "    \"tlb_misses\": {},", host.tlb_misses);
+    let _ = writeln!(s, "    \"tlb_hit_rate\": {:.4}", hit_rate(host.tlb_hits, host.tlb_misses));
     s.push_str("  }\n}\n");
     std::fs::write("BENCH_table1.json", s)
 }
 
 fn main() {
+    let commit = commit_id();
     println!("diff-engine micro-benchmarks ({SAMPLES}-sample medians)...");
     let cases = diff_cases();
     for c in &cases {
@@ -215,8 +382,52 @@ fn main() {
             c.baseline_ns / c.chunked_ns
         );
     }
-    write_bench_diff(&cases).expect("writing BENCH_diff.json");
+    write_bench_diff(&cases, &commit).expect("writing BENCH_diff.json");
     println!("wrote BENCH_diff.json");
+
+    println!("software-MMU access-path micro-benchmarks...");
+    let mmu_off = mmu_case(false);
+    let mmu_on = mmu_case(true);
+    println!(
+        "  locked baseline  read {:>7.1} ns   write {:>7.1} ns",
+        mmu_off.elem_read_ns, mmu_off.elem_write_ns
+    );
+    println!(
+        "  TLB hit          read {:>7.1} ns   write {:>7.1} ns   ({:.2}x / {:.2}x)",
+        mmu_on.elem_read_ns,
+        mmu_on.elem_write_ns,
+        mmu_off.elem_read_ns / mmu_on.elem_read_ns,
+        mmu_off.elem_write_ns / mmu_on.elem_write_ns
+    );
+    println!(
+        "  page guard       read {:>7.2} ns   write {:>7.2} ns   ({:.2}x / {:.2}x)",
+        mmu_on.guard_read_ns,
+        mmu_on.guard_write_ns,
+        mmu_off.elem_read_ns / mmu_on.guard_read_ns,
+        mmu_off.elem_write_ns / mmu_on.guard_write_ns
+    );
+    assert!(
+        mmu_off.elem_read_ns >= 2.0 * mmu_on.elem_read_ns
+            && mmu_off.elem_write_ns >= 2.0 * mmu_on.elem_write_ns,
+        "TLB hit path must be >=2x faster than the locked baseline \
+         (read {:.1} vs {:.1} ns, write {:.1} vs {:.1} ns)",
+        mmu_on.elem_read_ns,
+        mmu_off.elem_read_ns,
+        mmu_on.elem_write_ns,
+        mmu_off.elem_write_ns
+    );
+    assert!(
+        mmu_off.elem_read_ns >= 5.0 * mmu_on.guard_read_ns
+            && mmu_off.elem_write_ns >= 5.0 * mmu_on.guard_write_ns,
+        "guard path must be >=5x faster than the locked baseline \
+         (read {:.2} vs {:.1} ns, write {:.2} vs {:.1} ns)",
+        mmu_on.guard_read_ns,
+        mmu_off.elem_read_ns,
+        mmu_on.guard_write_ns,
+        mmu_off.elem_write_ns
+    );
+    write_bench_mmu(&mmu_off, &mmu_on, &commit).expect("writing BENCH_mmu.json");
+    println!("wrote BENCH_mmu.json");
 
     let scale = match std::env::var("REPSEQ_BENCH_SCALE").as_deref() {
         Ok("default") => Scale::Default,
@@ -224,20 +435,46 @@ fn main() {
         _ => Scale::Tiny,
     };
     let n: usize =
-        std::env::var("REPSEQ_BENCH_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(8);
+        std::env::var("REPSEQ_BENCH_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(32);
     let cfg = bh_config(scale);
     println!(
         "Barnes-Hut table run: {} bodies, {} timesteps, {n} nodes ({scale:?} scale)...",
         cfg.n_bodies, cfg.timesteps
     );
     host::reset();
+    let wall = Instant::now();
     let seq = run_barnes(SeqMode::MasterOnly, 1, cfg.clone());
     let orig = run_barnes(SeqMode::MasterOnly, n, cfg.clone());
-    let opt = run_barnes(SeqMode::Replicated, n, cfg);
+    let opt = run_barnes(SeqMode::Replicated, n, cfg.clone());
+    let host_wall_s = wall.elapsed().as_secs_f64();
     assert_eq!(seq.result, orig.result, "systems must agree on the physics");
     assert_eq!(seq.result, opt.result, "systems must agree on the physics");
     let counters = host::snapshot();
+    let twin_total = counters.twin_pool_hits + counters.twin_pool_misses;
+    assert!(
+        twin_total == 0 || counters.twin_pool_hits as f64 >= 0.9 * twin_total as f64,
+        "twin pool must absorb >=90% of twin allocations ({} hits / {} total)",
+        counters.twin_pool_hits,
+        twin_total
+    );
     repseq_bench::print_host_counters("table run", &counters);
-    write_bench_table1(scale, n, &seq, &orig, &opt, &counters).expect("writing BENCH_table1.json");
+
+    // The TLB must be invisible to the simulation: re-run the optimized
+    // system with the fast path disabled and require identical virtual
+    // results.
+    println!("TLB invariance check (optimized system, fast path disabled)...");
+    let opt_no_tlb = repseq_bench::run_barnes_config(SeqMode::Replicated, n, cfg, false);
+    assert_eq!(opt.result, opt_no_tlb.result, "TLB must not change the physics");
+    assert_eq!(
+        opt.snap.total_time, opt_no_tlb.snap.total_time,
+        "TLB must not change simulated time"
+    );
+    let (a, b) = (opt.snap.total_agg_with_startup(), opt_no_tlb.snap.total_agg_with_startup());
+    assert_eq!(a.messages, b.messages, "TLB must not change message counts");
+    assert_eq!(a.bytes, b.bytes, "TLB must not change byte counts");
+    println!("  ok: identical virtual time, messages, bytes");
+
+    write_bench_table1(scale, n, &seq, &orig, &opt, &counters, host_wall_s, &commit)
+        .expect("writing BENCH_table1.json");
     println!("wrote BENCH_table1.json");
 }

@@ -71,7 +71,22 @@ pub struct RunOutcome<R> {
 
 /// Run Barnes-Hut under `mode` on `n` nodes.
 pub fn run_barnes(mode: SeqMode, n: usize, cfg: BhConfig) -> RunOutcome<BhResult> {
-    let mut rt = Runtime::new(RunConfig { cluster: ClusterConfig::paper(n), seq_mode: mode });
+    run_barnes_config(mode, n, cfg, true)
+}
+
+/// Like [`run_barnes`], but with the software TLB explicitly enabled or
+/// disabled — the bench harness runs both and asserts the simulated
+/// results are identical (the fast path must be invisible to virtual
+/// time).
+pub fn run_barnes_config(
+    mode: SeqMode,
+    n: usize,
+    cfg: BhConfig,
+    tlb_enabled: bool,
+) -> RunOutcome<BhResult> {
+    let mut cluster = ClusterConfig::paper(n);
+    cluster.dsm.tlb_enabled = tlb_enabled;
+    let mut rt = Runtime::new(RunConfig { cluster, seq_mode: mode });
     let app = BarnesHut::setup(&mut rt, cfg);
     let stats = rt.stats();
     let out = Arc::new(Mutex::new(None));
@@ -255,5 +270,11 @@ pub fn print_host_counters(title: &str, h: &repseq_stats::HostCounters) {
     println!(
         "twin pool:   {:>10} hits   {:>10} misses  ({} page allocations avoided)",
         h.twin_pool_hits, h.twin_pool_misses, h.twin_pool_hits,
+    );
+    let tlb_total = h.tlb_hits + h.tlb_misses;
+    let tlb_rate = if tlb_total == 0 { 0.0 } else { 100.0 * h.tlb_hits as f64 / tlb_total as f64 };
+    println!(
+        "softw. TLB:  {:>10} hits   {:>10} misses  ({tlb_rate:.1}% of accesses skip the page walk)",
+        h.tlb_hits, h.tlb_misses,
     );
 }

@@ -43,6 +43,22 @@ fn torture_sweep_kitchen_sink() {
     assert!(sum.drops > 0);
 }
 
+/// Fault injection for the software TLB: with every protection-generation
+/// bump suppressed, stale translations survive protection revocations —
+/// the replicated init leaves writable TLB entries, the next parallel
+/// phase writes through them without faulting, so no twins or write
+/// notices are produced and every other node keeps a stale valid copy.
+/// The coherence oracle must catch the divergence; this pins the
+/// generation counter as the mechanism that keeps the TLB coherent (a
+/// passing run here would mean the fast path is not actually guarded).
+#[test]
+#[should_panic(expected = "coherence violation")]
+fn broken_generation_bump_is_caught_by_the_oracle() {
+    let cfg = HarnessConfig { nodes: 4, break_generation_bumps: true, ..HarnessConfig::default() };
+    let clean = [Schedule { seed: 0, drop_per_mille: 0, unicast: false }];
+    sweep(kitchen_sink, &cfg, &clean);
+}
+
 /// The divergence report machinery itself: a schedule that drops frames
 /// but passes produces no report; sanity-check the report renderer by
 /// forcing a failure through an impossible expectation is not possible

@@ -187,8 +187,10 @@ pub trait Worker {
     fn my_block(&self, total: usize) -> Range<usize>;
     /// This node's cyclic iterations of `0..total`.
     fn my_cyclic(&self, total: usize) -> Box<dyn Iterator<Item = usize> + '_>;
-    /// Read a typed element range into a local buffer (page checks
-    /// amortized per page).
+    /// Read the whole array into a local buffer. Backed by the page-guard
+    /// walk ([`ShArray::with_slices`]): one read fault per page, elements
+    /// decoded straight from the page bytes. Prefer `with_slices` directly
+    /// when the values are consumed once — it skips this vector too.
     fn read_all<T: Pod>(&self, arr: ShArray<T>) -> Result<Vec<T>, DsmStopped>;
 }
 

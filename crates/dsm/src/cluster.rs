@@ -174,16 +174,17 @@ impl Cluster {
         let n = self.cfg.nodes;
         assert_eq!(apps.len(), n, "need exactly one application per node");
         let net = Network::new(self.cfg.net.clone(), Arc::clone(&self.stats));
+        // Shared-segment size in pages: every allocation so far. Sizes the
+        // twin pool — a segment-wide fault burst must recycle, not
+        // allocate.
+        let seg_pages = self.alloc_next.div_ceil(self.cfg.dsm.page_size as u64) as usize;
         let initial: Arc<HashMap<PageId, Arc<[u8]>>> =
             Arc::new(self.initial.into_iter().map(|(p, v)| (p, Arc::<[u8]>::from(v))).collect());
         let states: Vec<Arc<Mutex<NodeState>>> = (0..n)
             .map(|i| {
-                Arc::new(Mutex::new(NodeState::new(
-                    i,
-                    n,
-                    self.cfg.dsm.clone(),
-                    Arc::clone(&initial),
-                )))
+                let mut st = NodeState::new(i, n, self.cfg.dsm.clone(), Arc::clone(&initial));
+                st.size_twin_pool(seg_pages);
+                Arc::new(Mutex::new(st))
             })
             .collect();
         let topo = Arc::new(Topology {
@@ -210,8 +211,9 @@ impl Cluster {
             let st = Arc::clone(&states[i]);
             let topo2 = Arc::clone(&topo);
             let page_size = self.cfg.dsm.page_size;
+            let tlb_enabled = self.cfg.dsm.tlb_enabled;
             let pid = sim.spawn(&format!("app{i}"), move |ctx| {
-                let node = DsmNode { ctx, nic, st, topo: topo2, page_size };
+                let node = DsmNode::new(ctx, nic, st, topo2, page_size, tlb_enabled);
                 app(node)
             });
             assert_eq!(pid, topo.app_pids[i]);

@@ -215,13 +215,18 @@ pub(crate) fn handler_main(
             DsmMsg::PageBroadcast { page, data, vc } => {
                 let mut s = st.lock();
                 ctx.charge(s.cfg.service_overhead);
-                let meta = s.page_mut(page);
-                if meta.twin.is_none() {
+                if s.page_mut(page).twin.is_none() {
                     // Safe to overwrite: we have no concurrent local writes.
-                    meta.data = Some(data.to_vec().into_boxed_slice());
+                    // Copy in place — a TLB entry or guard may alias the
+                    // buffer, and replacing it would leave them pointing at
+                    // the pre-broadcast bytes forever.
+                    s.page_data(page).copy_from_slice(&data);
+                    let meta = s.page_mut(page);
                     meta.valid = true;
                     meta.valid_at.merge(&vc);
                     s.valid_changed.insert(page);
+                    // Content changed underneath any cached translation.
+                    s.bump_prot_gen();
                 }
             }
 

@@ -35,9 +35,9 @@ pub use config::{DsmConfig, FlowControl};
 pub use diff::{Diff, DiffError, DiffRun};
 pub use interval::{IntervalRecord, IntervalStore, PageId};
 pub use msg::{DsmMsg, TaskPayload};
-pub use page::PageMeta;
+pub use page::{PageBuf, PageMeta};
 pub use pod::Pod;
 pub use runtime::{DsmNode, ParkEvent, Task, TaskFn};
-pub use shmem::{ShArray, ShVar};
+pub use shmem::{PageSlice, PageSliceMut, ShArray, ShVar};
 pub use state::{ChainProbe, NodeState, RseProbe};
 pub use vc::Vc;

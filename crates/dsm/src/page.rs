@@ -1,6 +1,7 @@
 //! Per-node page state: the software analogue of the VM page table plus
 //! the TreadMarks bookkeeping (twin, write notices, valid timestamp).
 
+use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 use repseq_stats::NodeId;
@@ -8,12 +9,84 @@ use repseq_stats::NodeId;
 use crate::diff::Diff;
 use crate::vc::Vc;
 
+/// The bytes of one page behind an interior-mutable cell, so the fast path
+/// (software TLB, page guards) can read and write them without holding the
+/// node-state mutex.
+struct PageCell(UnsafeCell<Box<[u8]>>);
+
+// Safety: the simulation engine runs exactly one process at a time (the
+// channel handoff between processes is a happens-before edge), so at any
+// instant at most one thread touches any page cell. See the safety
+// contract on [`PageBuf::slice_mut`] for the aliasing side.
+unsafe impl Send for PageCell {}
+unsafe impl Sync for PageCell {}
+
+/// A cheap-to-clone handle to one page's contents. `PageMeta::data` holds
+/// one; the software TLB and the page guards hold clones, so a protection
+/// change never invalidates the *bytes* a stale handle points at — stale
+/// handles are fenced off by the protection generation counter instead.
+pub struct PageBuf {
+    cell: Arc<PageCell>,
+}
+
+impl PageBuf {
+    /// A new buffer owning `bytes`.
+    pub(crate) fn new(bytes: Box<[u8]>) -> PageBuf {
+        PageBuf { cell: Arc::new(PageCell(UnsafeCell::new(bytes))) }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.slice().len()
+    }
+
+    /// Whether the buffer is empty (it never is for a real page).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read access to the page bytes.
+    ///
+    /// Safety relies on the engine's serialization: exactly one simulated
+    /// process runs at a time, and no caller keeps a returned slice alive
+    /// across a yielding call (every `&[u8]` produced here is consumed
+    /// within one straight-line access), so no mutable alias can exist
+    /// while the slice is read.
+    #[inline]
+    pub(crate) fn slice(&self) -> &[u8] {
+        unsafe { &*self.cell.0.get() }
+    }
+
+    /// Write access to the page bytes.
+    ///
+    /// Safety: same contract as [`PageBuf::slice`] — engine serialization
+    /// plus the no-slice-across-yields rule mean at most one reference
+    /// produced by this cell is live at any instant.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) fn slice_mut(&self) -> &mut [u8] {
+        unsafe { &mut *self.cell.0.get() }
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> PageBuf {
+        PageBuf { cell: Arc::clone(&self.cell) }
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageBuf({} bytes)", self.len())
+    }
+}
+
 /// One node's view of one shared page.
 #[derive(Debug)]
 pub struct PageMeta {
     /// Page contents. `None` means the page still holds its initial image
     /// (materialized lazily on first write or diff application).
-    pub data: Option<Box<[u8]>>,
+    pub data: Option<PageBuf>,
     /// The twin saved at the first write since the page was last diffed.
     pub twin: Option<Box<[u8]>>,
     /// Software write permission: a write to a non-writable page traps.
@@ -60,17 +133,22 @@ impl PageMeta {
 
     /// Materialize the page contents, starting from `initial` (or zeros).
     pub fn materialize(&mut self, page_size: usize, initial: Option<&Arc<[u8]>>) -> &mut [u8] {
+        self.buf(page_size, initial).slice_mut()
+    }
+
+    /// Materialize and return the shared handle to the page contents.
+    pub fn buf(&mut self, page_size: usize, initial: Option<&Arc<[u8]>>) -> &PageBuf {
         if self.data.is_none() {
-            let buf = match initial {
+            let bytes = match initial {
                 Some(img) => {
                     debug_assert_eq!(img.len(), page_size);
                     img.to_vec().into_boxed_slice()
                 }
                 None => vec![0u8; page_size].into_boxed_slice(),
             };
-            self.data = Some(buf);
+            self.data = Some(PageBuf::new(bytes));
         }
-        self.data.as_mut().unwrap()
+        self.data.as_ref().unwrap()
     }
 
     /// Write notices not yet incorporated in the local copy: the fetch set

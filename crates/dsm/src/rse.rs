@@ -81,6 +81,13 @@ impl DsmNode {
     /// Enter the replicated section (both master and slaves, after the fork
     /// records are applied): write-protect dirty pages (§5.3) and snapshot
     /// the entry timestamp.
+    ///
+    /// Both this transition and section retirement (`exit_replicated`)
+    /// revoke write permission, so the state methods bump the node's
+    /// protection generation — every software-TLB entry cached before the
+    /// section is revalidated on its next use, which is what forces
+    /// replicated writes back through `write_fault` and its §5.3
+    /// pre-section diff.
     pub fn enter_replicated(&self) {
         let mut st = self.st.lock();
         st.enter_replicated();

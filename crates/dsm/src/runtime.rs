@@ -2,19 +2,58 @@
 //! page faults, demand diff fetching, barriers, locks, and the fork/join
 //! plumbing the OpenMP-style layer builds on.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use repseq_net::Nic;
 use repseq_sim::{Ctx, Dur, Pid, Stopped};
-use repseq_stats::{MsgClass, NodeId, StatsRef};
+use repseq_stats::{host, MsgClass, NodeId, StatsRef};
 
 use crate::interval::PageId;
 use crate::msg::{DsmMsg, TaskPayload};
+use crate::page::PageBuf;
 use crate::pod::Pod;
 use crate::rse;
 use crate::state::NodeState;
+
+/// Software-TLB capacity. Direct-mapped on the low page bits: a working
+/// set under 64 pages (every kernel phase in the apps) never conflicts.
+const TLB_ENTRIES: usize = 64;
+
+/// One cached translation: page → contents handle + write permission,
+/// stamped with the protection generation it was filled under.
+struct TlbEntry {
+    page: PageId,
+    /// Value of the node's protection generation when this entry was
+    /// filled. Any protection change bumps the generation, so a stale
+    /// entry fails the equality check and falls back to the locked walk.
+    gen: u64,
+    writable: bool,
+    buf: PageBuf,
+}
+
+/// The per-application-process software TLB: a direct-mapped cache over
+/// the node's page table, valid only while the protection generation is
+/// unchanged. Purely a host-time optimization — lookups model no cost and
+/// hit only in states where the slow path would also charge nothing, so
+/// virtual time and message counts are bit-identical with the TLB off.
+pub(crate) struct Tlb {
+    slots: Vec<Option<TlbEntry>>,
+}
+
+impl Tlb {
+    fn new() -> Tlb {
+        Tlb { slots: (0..TLB_ENTRIES).map(|_| None).collect() }
+    }
+
+    #[inline]
+    fn slot(p: PageId) -> usize {
+        p as usize & (TLB_ENTRIES - 1)
+    }
+}
 
 /// Cluster wiring shared by every process: which kernel pid is which.
 pub(crate) struct Topology {
@@ -76,9 +115,39 @@ pub struct DsmNode {
     pub(crate) st: Arc<Mutex<NodeState>>,
     pub(crate) topo: Arc<Topology>,
     pub(crate) page_size: usize,
+    /// This node's protection generation (shared with [`NodeState`]); one
+    /// relaxed load validates a TLB entry without taking the mutex.
+    pub(crate) prot_gen: Arc<AtomicU64>,
+    /// The software TLB. `RefCell`: the application process is the only
+    /// borrower, and no borrow is held across a yielding call.
+    pub(crate) tlb: RefCell<Tlb>,
+    pub(crate) tlb_enabled: bool,
 }
 
 impl DsmNode {
+    /// Build the application-side handle, wiring the TLB to the node
+    /// state's protection generation.
+    pub(crate) fn new(
+        ctx: Ctx<DsmMsg>,
+        nic: Nic,
+        st: Arc<Mutex<NodeState>>,
+        topo: Arc<Topology>,
+        page_size: usize,
+        tlb_enabled: bool,
+    ) -> DsmNode {
+        let prot_gen = Arc::clone(&st.lock().prot_gen);
+        DsmNode {
+            ctx,
+            nic,
+            st,
+            topo,
+            page_size,
+            prot_gen,
+            tlb: RefCell::new(Tlb::new()),
+            tlb_enabled,
+        }
+    }
+
     /// This node's id (0 is the master).
     pub fn node(&self) -> NodeId {
         self.nic.node()
@@ -131,10 +200,156 @@ impl DsmNode {
     // ---------------------------------------------------------------
     // Shared-memory access (the software MMU)
     // ---------------------------------------------------------------
+    //
+    // Two-level fast path. Level 1: the software TLB — a hit costs one
+    // atomic load plus an array probe, no mutex, no page-table walk.
+    // Level 2: the locked walk, which fills the TLB on the way out. The
+    // fast path only covers accesses the slow path charges zero virtual
+    // time for (valid reads, valid+writable writes), so enabling the TLB
+    // cannot change simulated time or message counts.
+
+    /// Run `f` over the page bytes if the TLB has a current read mapping.
+    #[inline]
+    fn tlb_read<R>(&self, p: PageId, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        if !self.tlb_enabled {
+            return None;
+        }
+        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let tlb = self.tlb.borrow();
+        match &tlb.slots[Tlb::slot(p)] {
+            Some(e) if e.page == p && e.gen == gen => {
+                host::tlb_hit();
+                Some(f(e.buf.slice()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Run `f` over the page bytes if the TLB has a current *writable*
+    /// mapping.
+    #[inline]
+    fn tlb_write<R>(&self, p: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Option<R> {
+        if !self.tlb_enabled {
+            return None;
+        }
+        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let tlb = self.tlb.borrow();
+        match &tlb.slots[Tlb::slot(p)] {
+            Some(e) if e.page == p && e.gen == gen && e.writable => {
+                host::tlb_hit();
+                Some(f(e.buf.slice_mut()))
+            }
+            _ => None,
+        }
+    }
+
+    /// A clone of the cached contents handle, if the TLB has a current
+    /// mapping with the required permission.
+    #[inline]
+    fn tlb_buf(&self, p: PageId, write: bool) -> Option<PageBuf> {
+        if !self.tlb_enabled {
+            return None;
+        }
+        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let tlb = self.tlb.borrow();
+        match &tlb.slots[Tlb::slot(p)] {
+            Some(e) if e.page == p && e.gen == gen && (e.writable || !write) => {
+                host::tlb_hit();
+                Some(e.buf.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Install a translation filled under the current generation.
+    #[inline]
+    fn tlb_fill(&self, p: PageId, writable: bool, buf: &PageBuf) {
+        if !self.tlb_enabled {
+            return;
+        }
+        let gen = self.prot_gen.load(Ordering::Relaxed);
+        self.tlb.borrow_mut().slots[Tlb::slot(p)] =
+            Some(TlbEntry { page: p, gen, writable, buf: buf.clone() });
+    }
+
+    /// Resolve page `p` for reading: fault until valid, fill the TLB,
+    /// return the contents handle. The handle stays byte-current across
+    /// later protocol activity (diffs apply in place), but protocol
+    /// *validity* is only pinned at acquisition — callers must not cache
+    /// it across synchronization.
+    pub(crate) fn page_for_read(&self, p: PageId) -> Result<PageBuf, Stopped> {
+        if let Some(buf) = self.tlb_buf(p, false) {
+            return Ok(buf);
+        }
+        if self.tlb_enabled {
+            host::tlb_miss();
+        }
+        loop {
+            {
+                let mut st = self.st.lock();
+                let page = st.page_mut(p);
+                if page.valid {
+                    let writable = page.writable;
+                    let buf = st.page_buf(p);
+                    drop(st);
+                    self.tlb_fill(p, writable, &buf);
+                    return Ok(buf);
+                }
+            }
+            self.read_fault(p)?;
+        }
+    }
+
+    /// Resolve page `p` for writing: fault until valid and writable, fill
+    /// the TLB, return the contents handle. Same caching contract as
+    /// [`DsmNode::page_for_read`].
+    pub(crate) fn page_for_write(&self, p: PageId) -> Result<PageBuf, Stopped> {
+        if let Some(buf) = self.tlb_buf(p, true) {
+            return Ok(buf);
+        }
+        if self.tlb_enabled {
+            host::tlb_miss();
+        }
+        loop {
+            {
+                let mut st = self.st.lock();
+                let page = st.page_mut(p);
+                if page.valid && page.writable {
+                    let buf = st.page_buf(p);
+                    drop(st);
+                    self.tlb_fill(p, true, &buf);
+                    return Ok(buf);
+                }
+                if page.valid {
+                    // Write fault: purely local (twin creation, and during
+                    // replicated sections the §5.3 pre-diff).
+                    let cost = st.write_fault(p);
+                    self.topo.stats.on_page_fault(st.node);
+                    drop(st);
+                    self.ctx.charge(cost);
+                    continue;
+                }
+            }
+            // Invalid page: fetch it first.
+            self.read_fault(p)?;
+        }
+    }
 
     /// Read a typed value from the shared address space.
     pub fn read<T: Pod>(&self, addr: u64) -> Result<T, Stopped> {
         assert!(T::SIZE <= 256, "shared values are limited to 256 bytes");
+        let ps = self.page_size as u64;
+        let off = (addr % ps) as usize;
+        if off + T::SIZE <= self.page_size {
+            // Single-page fast path: decode straight from the page, no
+            // intermediate buffer, no span loop.
+            let p = (addr / ps) as PageId;
+            if let Some(v) = self.tlb_read(p, |data| T::read_from(&data[off..off + T::SIZE])) {
+                return Ok(v);
+            }
+            let buf = self.page_for_read(p)?;
+            return Ok(T::read_from(&buf.slice()[off..off + T::SIZE]));
+        }
         let mut buf = [0u8; 256];
         self.read_bytes(addr, &mut buf[..T::SIZE])?;
         Ok(T::read_from(&buf[..T::SIZE]))
@@ -143,6 +358,17 @@ impl DsmNode {
     /// Write a typed value to the shared address space.
     pub fn write<T: Pod>(&self, addr: u64, v: T) -> Result<(), Stopped> {
         assert!(T::SIZE <= 256, "shared values are limited to 256 bytes");
+        let ps = self.page_size as u64;
+        let off = (addr % ps) as usize;
+        if off + T::SIZE <= self.page_size {
+            let p = (addr / ps) as PageId;
+            if let Some(()) = self.tlb_write(p, |data| v.write_to(&mut data[off..off + T::SIZE])) {
+                return Ok(());
+            }
+            let buf = self.page_for_write(p)?;
+            v.write_to(&mut buf.slice_mut()[off..off + T::SIZE]);
+            return Ok(());
+        }
         let mut buf = [0u8; 256];
         v.write_to(&mut buf[..T::SIZE]);
         self.write_bytes(addr, &buf[..T::SIZE])
@@ -158,18 +384,8 @@ impl DsmNode {
             let p = (a / ps) as PageId;
             let in_page = (a % ps) as usize;
             let chunk = ((ps as usize - in_page).min(out.len() - off)).max(1);
-            loop {
-                {
-                    let mut st = self.st.lock();
-                    let valid = st.page_mut(p).valid;
-                    if valid {
-                        let data = st.page_data(p);
-                        out[off..off + chunk].copy_from_slice(&data[in_page..in_page + chunk]);
-                        break;
-                    }
-                }
-                self.read_fault(p)?;
-            }
+            let buf = self.page_for_read(p)?;
+            out[off..off + chunk].copy_from_slice(&buf.slice()[in_page..in_page + chunk]);
             off += chunk;
         }
         Ok(())
@@ -184,28 +400,8 @@ impl DsmNode {
             let p = (a / ps) as PageId;
             let in_page = (a % ps) as usize;
             let chunk = ((ps as usize - in_page).min(src.len() - off)).max(1);
-            loop {
-                {
-                    let mut st = self.st.lock();
-                    let page = st.page_mut(p);
-                    if page.valid && page.writable {
-                        let data = st.page_data(p);
-                        data[in_page..in_page + chunk].copy_from_slice(&src[off..off + chunk]);
-                        break;
-                    }
-                    if page.valid {
-                        // Write fault: purely local (twin creation, and
-                        // during replicated sections the §5.3 pre-diff).
-                        let cost = st.write_fault(p);
-                        self.topo.stats.on_page_fault(st.node);
-                        drop(st);
-                        self.ctx.charge(cost);
-                        continue;
-                    }
-                }
-                // Invalid page: fetch it first.
-                self.read_fault(p)?;
-            }
+            let buf = self.page_for_write(p)?;
+            buf.slice_mut()[in_page..in_page + chunk].copy_from_slice(&src[off..off + chunk]);
             off += chunk;
         }
         Ok(())

@@ -3,13 +3,116 @@
 //! Handles are plain `(address, length)` pairs — `Copy`, cheaply captured
 //! by fork closures, exactly like the shared-variable addresses the
 //! OpenMP-to-TreadMarks translator passes to slaves at a fork (§2.3).
+//!
+//! ## Page-guard bulk access
+//!
+//! [`ShArray::with_slices`] / [`ShArray::with_slices_mut`] split an element
+//! range into maximal single-page runs and hand each run to a closure as a
+//! [`PageSlice`] / [`PageSliceMut`]: the fault (validity check, twin
+//! creation, diff fetch) is taken **once per page run** when the guard is
+//! created, and every element access inside the run is a plain decode from
+//! the page bytes. This is how a real DSM behaves — the fault happens at
+//! the first touch of a page, subsequent accesses run at memory speed —
+//! and it is the bulk-kernel complement to the per-element software TLB.
+//!
+//! Guards pin protocol validity only at acquisition; they must not be
+//! cached across synchronization (the borrow-scoped closure API makes that
+//! structurally impossible).
 
 use std::marker::PhantomData;
+use std::ops::Range;
 
 use repseq_sim::Stopped;
 
+use crate::interval::PageId;
+use crate::page::PageBuf;
 use crate::pod::Pod;
 use crate::runtime::DsmNode;
+
+/// A read guard over one single-page run of elements: `len()` elements of
+/// `T` starting at global index `first_index()`, whose page was faulted in
+/// (if needed) when the guard was created.
+pub struct PageSlice<T: Pod> {
+    buf: PageBuf,
+    byte_off: usize,
+    first: usize,
+    count: usize,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> PageSlice<T> {
+    /// Global array index of the run's first element.
+    pub fn first_index(&self) -> usize {
+        self.first
+    }
+
+    /// Elements in the run.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if the run is empty (never produced by `with_slices`).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Read the `k`-th element of the run (index relative to the run).
+    #[inline]
+    pub fn get(&self, k: usize) -> T {
+        assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        let off = self.byte_off + k * T::SIZE;
+        T::read_from(&self.buf.slice()[off..off + T::SIZE])
+    }
+}
+
+/// A write guard over one single-page run of elements. Writes go straight
+/// to the page bytes — the write fault (twin creation, §5.3 pre-diff) was
+/// taken when the guard was created.
+pub struct PageSliceMut<T: Pod> {
+    buf: PageBuf,
+    byte_off: usize,
+    first: usize,
+    count: usize,
+    /// Run backed by a detached copy (page-straddling element); written
+    /// back through the MMU after the closure if `written`.
+    detached: Option<u64>,
+    written: bool,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> PageSliceMut<T> {
+    /// Global array index of the run's first element.
+    pub fn first_index(&self) -> usize {
+        self.first
+    }
+
+    /// Elements in the run.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if the run is empty (never produced by `with_slices_mut`).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Read the `k`-th element of the run.
+    #[inline]
+    pub fn get(&self, k: usize) -> T {
+        assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        let off = self.byte_off + k * T::SIZE;
+        T::read_from(&self.buf.slice()[off..off + T::SIZE])
+    }
+
+    /// Write the `k`-th element of the run.
+    #[inline]
+    pub fn set(&mut self, k: usize, v: T) {
+        assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        let off = self.byte_off + k * T::SIZE;
+        v.write_to(&mut self.buf.slice_mut()[off..off + T::SIZE]);
+        self.written = true;
+    }
+}
 
 /// A shared array of `T`.
 pub struct ShArray<T: Pod> {
@@ -59,25 +162,128 @@ impl<T: Pod> ShArray<T> {
         node.write(self.addr(i), v)
     }
 
-    /// Read a contiguous range into `out` (page checks amortized per page).
-    pub fn read_range(&self, node: &DsmNode, start: usize, out: &mut [T]) -> Result<(), Stopped> {
-        assert!(start + out.len() <= self.len);
-        let mut buf = vec![0u8; out.len() * T::SIZE];
-        node.read_bytes(self.addr(start), &mut buf)?;
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = T::read_from(&buf[k * T::SIZE..]);
+    /// Visit `range` as a sequence of maximal single-page runs, taking the
+    /// read fault once per page. Elements that straddle a page boundary
+    /// are delivered as singleton runs backed by a detached copy (read
+    /// through the buffered byte path, exactly like the element-wise
+    /// protocol).
+    pub fn with_slices(
+        &self,
+        node: &DsmNode,
+        range: Range<usize>,
+        mut f: impl FnMut(&PageSlice<T>) -> Result<(), Stopped>,
+    ) -> Result<(), Stopped> {
+        assert!(range.start <= range.end && range.end <= self.len);
+        let ps = node.page_size();
+        let mut i = range.start;
+        while i < range.end {
+            let a = self.addr(i);
+            let in_page = (a % ps as u64) as usize;
+            if in_page + T::SIZE > ps {
+                let mut bytes = vec![0u8; T::SIZE];
+                node.read_bytes(a, &mut bytes)?;
+                let run = PageSlice {
+                    buf: PageBuf::new(bytes.into_boxed_slice()),
+                    byte_off: 0,
+                    first: i,
+                    count: 1,
+                    _t: PhantomData,
+                };
+                f(&run)?;
+                i += 1;
+            } else {
+                let count = ((ps - in_page) / T::SIZE).min(range.end - i);
+                let p = (a / ps as u64) as PageId;
+                let buf = node.page_for_read(p)?;
+                let run = PageSlice { buf, byte_off: in_page, first: i, count, _t: PhantomData };
+                f(&run)?;
+                i += count;
+            }
         }
         Ok(())
     }
 
-    /// Write a contiguous range from `vals`.
+    /// Visit `range` as a sequence of maximal single-page runs, taking the
+    /// write fault (twin creation, §5.3 pre-diff) once per page.
+    /// Straddling elements arrive as detached singleton runs pre-filled
+    /// with the current value and are written back through the byte path
+    /// only if the closure wrote them — the fault pattern matches the
+    /// element-wise protocol exactly, so message counts are unchanged.
+    pub fn with_slices_mut(
+        &self,
+        node: &DsmNode,
+        range: Range<usize>,
+        mut f: impl FnMut(&mut PageSliceMut<T>) -> Result<(), Stopped>,
+    ) -> Result<(), Stopped> {
+        assert!(range.start <= range.end && range.end <= self.len);
+        let ps = node.page_size();
+        let mut i = range.start;
+        while i < range.end {
+            let a = self.addr(i);
+            let in_page = (a % ps as u64) as usize;
+            if in_page + T::SIZE > ps {
+                let mut bytes = vec![0u8; T::SIZE];
+                node.read_bytes(a, &mut bytes)?;
+                let mut run = PageSliceMut {
+                    buf: PageBuf::new(bytes.into_boxed_slice()),
+                    byte_off: 0,
+                    first: i,
+                    count: 1,
+                    detached: Some(a),
+                    written: false,
+                    _t: PhantomData,
+                };
+                f(&mut run)?;
+                if let Some(addr) = run.detached {
+                    if run.written {
+                        node.write_bytes(addr, run.buf.slice())?;
+                    }
+                }
+                i += 1;
+            } else {
+                let count = ((ps - in_page) / T::SIZE).min(range.end - i);
+                let p = (a / ps as u64) as PageId;
+                let buf = node.page_for_write(p)?;
+                let mut run = PageSliceMut {
+                    buf,
+                    byte_off: in_page,
+                    first: i,
+                    count,
+                    detached: None,
+                    written: false,
+                    _t: PhantomData,
+                };
+                f(&mut run)?;
+                i += count;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a contiguous range into `out` (the fault is taken once per
+    /// page run; elements decode straight from the page bytes).
+    pub fn read_range(&self, node: &DsmNode, start: usize, out: &mut [T]) -> Result<(), Stopped> {
+        assert!(start + out.len() <= self.len);
+        self.with_slices(node, start..start + out.len(), |run| {
+            let base = run.first_index() - start;
+            for k in 0..run.len() {
+                out[base + k] = run.get(k);
+            }
+            Ok(())
+        })
+    }
+
+    /// Write a contiguous range from `vals` (one write fault per page run;
+    /// elements encode straight into the page bytes).
     pub fn write_range(&self, node: &DsmNode, start: usize, vals: &[T]) -> Result<(), Stopped> {
         assert!(start + vals.len() <= self.len);
-        let mut buf = vec![0u8; vals.len() * T::SIZE];
-        for (k, v) in vals.iter().enumerate() {
-            v.write_to(&mut buf[k * T::SIZE..]);
-        }
-        node.write_bytes(self.addr(start), &buf)
+        self.with_slices_mut(node, start..start + vals.len(), |run| {
+            let base = run.first_index() - start;
+            for k in 0..run.len() {
+                run.set(k, vals[base + k]);
+            }
+            Ok(())
+        })
     }
 
     /// The page range `[first, last]` the array spans (for the

@@ -4,6 +4,7 @@
 //! runtime and handler layers do that.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use repseq_sim::{Dur, Pid};
@@ -12,17 +13,22 @@ use repseq_stats::{host, NodeId};
 use crate::config::DsmConfig;
 use crate::diff::Diff;
 use crate::interval::{IntervalRecord, IntervalStore, PageId};
-use crate::page::{DiffEntry, DiffRecord, PageMeta};
+use crate::page::{DiffEntry, DiffRecord, PageBuf, PageMeta};
 use crate::vc::Vc;
 
 /// A queued multicast request awaiting the master's serialization:
 /// (page, wanted diffs, requester).
 pub type QueuedRequest = (PageId, Vec<(NodeId, u32)>, NodeId);
 
-/// Most page buffers a node keeps pooled for twin reuse. Big enough that
-/// a fault burst across a working set recycles instead of allocating,
-/// small enough to be negligible next to the page copies themselves.
-const TWIN_POOL_CAP: usize = 64;
+/// Twin-pool cap for nodes whose cluster never called
+/// [`NodeState::size_twin_pool`] (unit tests, hand-built states). Clusters
+/// size the pool from the shared-segment page count instead, since a full
+/// sweep over the segment can twin every page of it.
+const TWIN_POOL_DEFAULT_CAP: usize = 64;
+
+/// Most buffers [`NodeState::size_twin_pool`] prewarms eagerly; beyond
+/// this, first-touch allocation is cheaper than the up-front memory.
+const TWIN_POOL_PREWARM_MAX: usize = 256;
 
 /// Take a page buffer from `pool` (or allocate) and fill it with `src`.
 /// Free functions rather than methods so callers can hold a `&mut` into
@@ -42,8 +48,8 @@ fn pool_take(pool: &mut Vec<Box<[u8]>>, src: &[u8]) -> Box<[u8]> {
 }
 
 /// Return a page buffer to `pool` for reuse.
-fn pool_recycle(pool: &mut Vec<Box<[u8]>>, buf: Box<[u8]>) {
-    if pool.len() < TWIN_POOL_CAP {
+fn pool_recycle(pool: &mut Vec<Box<[u8]>>, cap: usize, buf: Box<[u8]>) {
+    if pool.len() < cap {
         pool.push(buf);
     }
 }
@@ -134,8 +140,25 @@ pub struct NodeState {
     /// page copy, and the steady state of a fault-heavy run would
     /// otherwise allocate and free one page per fault. Buffers return
     /// here when a twin is consumed by diff creation or dropped at
-    /// replicated-section exit. Capped at [`TWIN_POOL_CAP`].
+    /// replicated-section exit. Capped at `twin_pool_cap`.
     pub twin_pool: Vec<Box<[u8]>>,
+    /// Pool cap: the shared-segment page count once the cluster calls
+    /// [`NodeState::size_twin_pool`], [`TWIN_POOL_DEFAULT_CAP`] otherwise.
+    pub twin_pool_cap: usize,
+    /// Protection generation counter: bumped at every protection
+    /// *revocation* or out-of-band content change that could make a cached
+    /// translation stale — interval close, invalidation by write notice,
+    /// §5.3 write-protect at replicated-section entry/exit, diff
+    /// application, page broadcast. Permission *grants* (a write fault
+    /// enabling writing) do not bump: a stale read-only entry is merely
+    /// conservative (write lookups miss and take the slow path), and the
+    /// counter is node-global, so bumping on every fault would flush the
+    /// whole TLB each time a page is first written in an interval.
+    /// The application process's software TLB validates entries against it
+    /// with one relaxed load, so TLB hits skip the mutex and page walk.
+    /// Shared (`Arc`) because the handler process mutates protections while
+    /// the TLB lives with the application process.
+    pub prot_gen: Arc<AtomicU64>,
     /// Pages written (write-faulted) during the current, still-open
     /// interval. Consumed into write notices at the interval close; pages
     /// are then re-protected so that a later write faults again and is
@@ -223,6 +246,8 @@ impl NodeState {
             diffs: HashMap::new(),
             dirty_pages: Vec::new(),
             twin_pool: Vec::new(),
+            twin_pool_cap: TWIN_POOL_DEFAULT_CAP,
+            prot_gen: Arc::new(AtomicU64::new(0)),
             cur_writes: Vec::new(),
             initial,
             in_rse: false,
@@ -261,6 +286,43 @@ impl NodeState {
         page.materialize(ps, initial.get(&p))
     }
 
+    /// A shared handle to the page contents (materialized on first touch),
+    /// for the software TLB and the page guards.
+    pub fn page_buf(&mut self, p: PageId) -> PageBuf {
+        let ps = self.cfg.page_size;
+        let initial = Arc::clone(&self.initial);
+        let n = self.n;
+        let page = self.pages.entry(p).or_insert_with(|| PageMeta::new(n));
+        page.buf(ps, initial.get(&p)).clone()
+    }
+
+    /// Advance the protection generation, invalidating every software-TLB
+    /// entry of this node. Called by every method that changes a page's
+    /// protection or replaces/mutates its contents outside the TLB's view.
+    /// The test-only `tlb_break_generation_bumps` config flag turns this
+    /// into a no-op so the coherence oracle can be shown to catch the
+    /// resulting stale translations.
+    #[inline]
+    pub fn bump_prot_gen(&self) {
+        if self.cfg.tlb_break_generation_bumps {
+            return;
+        }
+        self.prot_gen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Size the twin pool for a shared segment of `seg_pages` pages: a
+    /// segment-wide fault burst (one twin per page) must recycle rather
+    /// than allocate, so the cap tracks the segment size, and the pool is
+    /// prewarmed so even the first burst hits.
+    pub fn size_twin_pool(&mut self, seg_pages: usize) {
+        self.twin_pool_cap = seg_pages.max(TWIN_POOL_DEFAULT_CAP);
+        let warm = seg_pages.min(TWIN_POOL_PREWARM_MAX);
+        let ps = self.cfg.page_size;
+        while self.twin_pool.len() < warm {
+            self.twin_pool.push(vec![0u8; ps].into_boxed_slice());
+        }
+    }
+
     /// This node's view of page `p`, created on demand.
     pub fn page_mut(&mut self, p: PageId) -> &mut PageMeta {
         let n = self.n;
@@ -296,6 +358,7 @@ impl NodeState {
         let rec = IntervalRecord { owner: node, ivx, vc: self.vc.clone(), pages };
         let inserted = self.intervals.insert(rec);
         debug_assert!(inserted);
+        self.bump_prot_gen(); // written pages were re-protected
     }
 
     /// Create the diff for a twinned page (lazy diff creation, §5.1).
@@ -306,7 +369,7 @@ impl NodeState {
         let mut cost = self.cfg.diff_create_cost();
         let page = self.pages.get_mut(&p).expect("diffing unknown page");
         let mut twin = page.twin.take().expect("diffing a page without a twin");
-        let data = page.data.as_deref().expect("twinned page must be materialized");
+        let data = page.data.as_ref().expect("twinned page must be materialized").slice();
         let timer = host::start();
         let diff = Diff::create(&twin, data);
         host::record_diff_create(timer, 2 * data.len() as u64);
@@ -321,14 +384,15 @@ impl NodeState {
             // the twin just consumed instead of cloning the page.
             cost += self.cfg.twin_cost();
             let page = self.pages.get_mut(&p).unwrap();
-            twin.copy_from_slice(page.data.as_deref().unwrap());
+            twin.copy_from_slice(page.data.as_ref().unwrap().slice());
             page.twin = Some(twin);
             // stays writable and in the dirty set
         } else {
-            pool_recycle(&mut self.twin_pool, twin);
+            pool_recycle(&mut self.twin_pool, self.twin_pool_cap, twin);
             let page = self.pages.get_mut(&p).unwrap();
             page.writable = false;
             self.dirty_pages.retain(|&q| q != p);
+            self.bump_prot_gen(); // write permission revoked
         }
         let record = Arc::new(DiffRecord { owner: node, covers: ivxs.clone(), diff });
         for ivx in ivxs {
@@ -346,6 +410,7 @@ impl NodeState {
     pub fn apply_records(&mut self, records: Vec<IntervalRecord>, sender_vc: &Vc) -> Dur {
         self.close_interval();
         let mut cost = Dur::ZERO;
+        let mut invalidated = false;
         for rec in records {
             // Records of our own intervals (echoed back by a barrier
             // manager or lock chain) are already known and skipped by the
@@ -369,8 +434,12 @@ impl NodeState {
                         page.valid = false;
                         page.writable = false;
                     }
+                    invalidated = true;
                 }
             }
+        }
+        if invalidated {
+            self.bump_prot_gen(); // write-notice invalidation
         }
         self.vc.merge(sender_vc);
         cost
@@ -397,7 +466,7 @@ impl NodeState {
             self.page_data(p); // materialize before twinning
             let page = self.pages.get_mut(&p).unwrap();
             debug_assert!(page.valid, "write fault on an invalid page");
-            let twin = pool_take(&mut self.twin_pool, page.data.as_deref().unwrap());
+            let twin = pool_take(&mut self.twin_pool, page.data.as_ref().unwrap().slice());
             page.twin = Some(twin);
             if !in_rse {
                 self.dirty_pages.push(p);
@@ -503,6 +572,9 @@ impl NodeState {
         page.valid = true;
         page.valid_at = valid_at;
         self.valid_changed.insert(p);
+        // The handler may have applied these diffs while the application
+        // process was blocked elsewhere: its TLB must re-check validity.
+        self.bump_prot_gen();
         cost
     }
 
@@ -573,6 +645,10 @@ impl NodeState {
             page.writable = false;
             page.rse_protected = true;
         }
+        // §5.3 write-protect: TLB entries caching write permission for the
+        // dirty pages are now stale — the first write inside the section
+        // must fault so the pre-section diff gets created.
+        self.bump_prot_gen();
     }
 
     /// Leave a replicated section: unprotect the dirty pages that were
@@ -596,7 +672,7 @@ impl NodeState {
         let entry_vc = self.rse_entry_vc.clone();
         for p in std::mem::take(&mut self.rse_dirty) {
             if let Some(twin) = self.page_mut(p).twin.take() {
-                pool_recycle(&mut self.twin_pool, twin);
+                pool_recycle(&mut self.twin_pool, self.twin_pool_cap, twin);
             }
             let page = self.page_mut(p);
             page.writable = false;
@@ -616,6 +692,8 @@ impl NodeState {
         self.chains.clear();
         self.mcast_queue.clear();
         self.mcast_inflight = None;
+        // Section retirement re-protected the pages written in it.
+        self.bump_prot_gen();
     }
 
     /// This node's valid-notice delta since the last exchange (§5.4.1).
@@ -686,7 +764,7 @@ impl NodeState {
         match self.pages.get(&p) {
             Some(pg) if !pg.valid => None,
             Some(pg) => Some(match &pg.data {
-                Some(d) => d.to_vec(),
+                Some(d) => d.slice().to_vec(),
                 None => self.initial_image(p),
             }),
             None => Some(self.initial_image(p)),
@@ -885,7 +963,7 @@ mod tests {
         st.apply_cached_diffs(4);
         let page = st.page_mut(4);
         assert!(page.valid);
-        assert_eq!(page.data.as_ref().unwrap()[0], 2);
+        assert_eq!(page.data.as_ref().unwrap().slice()[0], 2);
     }
 
     #[test]
@@ -978,8 +1056,13 @@ mod tests {
             page.writable = true;
             page.rse_dirty = true;
         }
+        let gen_before = st.prot_gen.load(Ordering::Relaxed);
         st.rse_dirty.push(8);
         st.exit_replicated();
+        assert!(
+            st.prot_gen.load(Ordering::Relaxed) > gen_before,
+            "retiring replicated writes must invalidate the TLB"
+        );
         let entry_vc = st.rse_entry_vc.clone();
         let page = st.page_mut(8);
         assert!(page.valid && !page.writable && page.twin.is_none());

@@ -1,4 +1,4 @@
-//! Host wall-clock counters for the diff engine.
+//! Host wall-clock counters for the diff engine and the software MMU.
 //!
 //! Everything else in this crate measures *simulated* time — the virtual
 //! nanoseconds the cost model charges. These counters instead measure the
@@ -23,6 +23,8 @@ static DIFF_APPLY_CALLS: AtomicU64 = AtomicU64::new(0);
 static DIFF_APPLY_BYTES: AtomicU64 = AtomicU64::new(0);
 static TWIN_POOL_HITS: AtomicU64 = AtomicU64::new(0);
 static TWIN_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static TLB_HITS: AtomicU64 = AtomicU64::new(0);
+static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// A running timer; hand it to one of the `record_*` functions when the
 /// measured region ends.
@@ -60,6 +62,18 @@ pub fn twin_pool_miss() {
     TWIN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// A shared-memory access was served from the software TLB (mutex and
+/// page walk skipped).
+pub fn tlb_hit() {
+    TLB_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A shared-memory access missed the software TLB and took the locked
+/// page walk (possibly faulting).
+pub fn tlb_miss() {
+    TLB_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Snapshot of the host-side diff-engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostCounters {
@@ -78,6 +92,10 @@ pub struct HostCounters {
     pub twin_pool_hits: u64,
     /// Twin allocations that fell through to the allocator.
     pub twin_pool_misses: u64,
+    /// Shared-memory accesses served from the software TLB.
+    pub tlb_hits: u64,
+    /// Accesses that took the locked page walk.
+    pub tlb_misses: u64,
 }
 
 /// Read the counters accumulated since process start (or the last
@@ -92,6 +110,8 @@ pub fn snapshot() -> HostCounters {
         diff_apply_bytes: DIFF_APPLY_BYTES.load(Ordering::Relaxed),
         twin_pool_hits: TWIN_POOL_HITS.load(Ordering::Relaxed),
         twin_pool_misses: TWIN_POOL_MISSES.load(Ordering::Relaxed),
+        tlb_hits: TLB_HITS.load(Ordering::Relaxed),
+        tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
     }
 }
 
@@ -108,6 +128,8 @@ pub fn reset() {
         &DIFF_APPLY_BYTES,
         &TWIN_POOL_HITS,
         &TWIN_POOL_MISSES,
+        &TLB_HITS,
+        &TLB_MISSES,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -125,6 +147,8 @@ impl HostCounters {
             diff_apply_bytes: self.diff_apply_bytes - earlier.diff_apply_bytes,
             twin_pool_hits: self.twin_pool_hits - earlier.twin_pool_hits,
             twin_pool_misses: self.twin_pool_misses - earlier.twin_pool_misses,
+            tlb_hits: self.tlb_hits - earlier.tlb_hits,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
         }
     }
 }
@@ -142,6 +166,8 @@ mod tests {
         record_diff_apply(t, 100);
         twin_pool_hit();
         twin_pool_miss();
+        tlb_hit();
+        tlb_miss();
         let delta = snapshot().since(&before);
         assert_eq!(delta.diff_create_calls, 1);
         assert_eq!(delta.diff_create_bytes, 8192);
@@ -149,5 +175,7 @@ mod tests {
         assert_eq!(delta.diff_apply_bytes, 100);
         assert_eq!(delta.twin_pool_hits, 1);
         assert_eq!(delta.twin_pool_misses, 1);
+        assert_eq!(delta.tlb_hits, 1);
+        assert_eq!(delta.tlb_misses, 1);
     }
 }

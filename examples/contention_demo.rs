@@ -2,6 +2,13 @@
 //! diff-request response time at the master grow with the node count, and
 //! watch replicated sequential execution flatten it.
 //!
+//! The kernel's phases run on the page-guard API (`ShArray::with_slices` /
+//! `with_slices_mut`): each page is faulted once per pass and the elements
+//! stream straight from the page bytes, so the host-side cost of driving
+//! the simulation stays flat while the *simulated* contention (what this
+//! demo measures) is untouched — the guards charge exactly the virtual
+//! time the element-wise protocol would.
+//!
 //! ```text
 //! cargo run --release --example contention_demo
 //! ```
