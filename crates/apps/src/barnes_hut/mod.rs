@@ -157,6 +157,7 @@ impl BarnesHut {
             bc_pages.extend(b_first..=b_last);
             team.sequential_broadcasting(
                 move |nd| {
+                    nd.race_label("bh::tree_build");
                     // Read every particle (the replicated version multicasts
                     // these pages — "the particles are multicast during the
                     // replicated execution").
@@ -187,6 +188,7 @@ impl BarnesHut {
             // ---- parallel section: force evaluation ----
             let cfgq = cfg.clone();
             team.parallel(move |nd| {
+                nd.race_label("bh::forces");
                 let me = nd.node();
                 let n_cells = h.n_cells.get(nd)? as usize;
                 let mut cells = vec![Cell::default(); n_cells];
@@ -216,6 +218,7 @@ impl BarnesHut {
             // ---- parallel section: kinematic update of own particles ----
             let cfgq = cfg.clone();
             team.parallel(move |nd| {
+                nd.race_label("bh::update");
                 let me = nd.node();
                 let lo = h.bounds.get(nd, me)? as usize;
                 let hi = h.bounds.get(nd, me + 1)? as usize;

@@ -6,12 +6,13 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use repseq_dsm::{AppFn, Cluster, ClusterConfig, DsmNode, LaunchOutcome, PageId};
+use repseq_dsm::{AppFn, Cluster, ClusterConfig, DsmNode, LaunchOutcome, PageId, RaceSink};
 use repseq_net::LossConfig;
-use repseq_sim::{Dur, Stopped};
-use repseq_stats::Stats;
+use repseq_sim::{Dur, SimTime, Stopped};
+use repseq_stats::{Stats, StatsSnapshot};
 
 use crate::oracle::{check_snapshots, DsmMem, Expected, RefMem, Snapshot};
+use crate::race::{RaceDetector, RaceReport};
 use crate::report;
 use crate::workload::{Builder, Phase, Workload};
 
@@ -91,6 +92,37 @@ pub(crate) struct RunArtifacts {
     pub snaps: Vec<Snapshot>,
     pub expected: Expected,
     pub name: &'static str,
+    pub stats: StatsSnapshot,
+}
+
+/// The determinism-relevant residue of one run: everything the simulator
+/// reported except the (optional, memory-hungry) trace. The
+/// detector-invariance tests assert two of these — detector on vs off —
+/// are equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFingerprint {
+    /// Virtual end time of the run.
+    pub end_time: SimTime,
+    /// Final virtual clock of every process.
+    pub proc_clocks: Vec<(String, SimTime)>,
+    /// Kernel events processed.
+    pub events_processed: u64,
+    /// Undelivered messages at exit.
+    pub mailbox_backlog: Vec<(String, usize)>,
+}
+
+/// What [`run_schedule_instrumented`] hands back: the simulation
+/// fingerprint and stats snapshot (for invariance gating) plus the race
+/// report when a detector was installed.
+pub struct InstrumentedOutcome {
+    /// Simulation fingerprint (virtual time, messages, backlog).
+    pub sim: SimFingerprint,
+    /// Full per-node, per-section statistics (messages, bytes, faults).
+    pub stats: StatsSnapshot,
+    /// Race report, if a detector was installed.
+    pub races: Option<RaceReport>,
+    /// Frames the loss injector dropped.
+    pub drops: usize,
 }
 
 /// Replay the workload's phases on a single reference memory, recording
@@ -129,6 +161,7 @@ pub(crate) fn run_once(
     cfg: &HarnessConfig,
     loss: Option<LossConfig>,
     trace: bool,
+    race: Option<Arc<dyn RaceSink>>,
 ) -> RunArtifacts {
     let n = cfg.nodes;
     let stats = Stats::new(n);
@@ -136,8 +169,11 @@ pub(crate) fn run_once(
     ccfg.net.loss = loss;
     ccfg.dsm.rse_timeout = cfg.rse_timeout;
     ccfg.dsm.tlb_break_generation_bumps = cfg.break_generation_bumps;
-    let mut cl = Cluster::new(ccfg, stats);
+    let mut cl = Cluster::new(ccfg, Arc::clone(&stats));
     cl.record_trace(trace);
+    if let Some(sink) = race {
+        cl.set_race_sink(sink);
+    }
     let page_size = cl.config().dsm.page_size;
     let w = build(&mut cl, n);
     let expected = replay_reference(&w, page_size, n);
@@ -181,7 +217,7 @@ pub(crate) fn run_once(
     }
     let outcome = cl.launch_inspect(apps);
     let snaps = std::mem::take(&mut *collector.lock());
-    RunArtifacts { outcome, snaps, expected, name }
+    RunArtifacts { outcome, snaps, expected, name, stats: stats.snapshot() }
 }
 
 /// First violated invariant of a finished run, if any, as a one-paragraph
@@ -220,12 +256,12 @@ pub fn run_schedule(
     cfg: &HarnessConfig,
     sched: Schedule,
 ) -> Result<ScheduleOutcome, String> {
-    let art = run_once(build, cfg, sched.loss(), false);
+    let art = run_once(build, cfg, sched.loss(), false, None);
     if let Some(why) = validate(&art) {
         // Deterministic engine: the traced re-runs reproduce the failure
         // and the clean twin exactly.
-        let lossy = run_once(build, cfg, sched.loss(), true);
-        let clean = run_once(build, cfg, None, true);
+        let lossy = run_once(build, cfg, sched.loss(), true, None);
+        let clean = run_once(build, cfg, None, true, None);
         return Err(report::render_failure(
             art.name,
             cfg,
@@ -240,6 +276,38 @@ pub fn run_schedule(
         drops: art.outcome.loss_events.len(),
         chain_holes: art.outcome.probes.iter().map(|p| p.chain_holes).sum(),
         events: report.events_processed,
+    })
+}
+
+/// Run one schedule of a workload with an optional race detector
+/// installed, validating the oracle and the protocol invariants exactly
+/// like [`run_schedule`], and additionally return the simulation
+/// fingerprint, the stats snapshot and (if a detector was given) the race
+/// report. The detector-invariance tests run each schedule twice — with
+/// and without a detector — and assert the fingerprints and snapshots are
+/// bit-identical; the certification tests assert the report is clean.
+pub fn run_schedule_instrumented(
+    build: Builder,
+    cfg: &HarnessConfig,
+    sched: Schedule,
+    detector: Option<Arc<RaceDetector>>,
+) -> Result<InstrumentedOutcome, String> {
+    let sink = detector.clone().map(|d| d as Arc<dyn RaceSink>);
+    let art = run_once(build, cfg, sched.loss(), false, sink);
+    if let Some(why) = validate(&art) {
+        return Err(format!("instrumented schedule failed: {why}"));
+    }
+    let report = art.outcome.result.as_ref().expect("validated runs have a report");
+    Ok(InstrumentedOutcome {
+        sim: SimFingerprint {
+            end_time: report.end_time,
+            proc_clocks: report.proc_clocks.clone(),
+            events_processed: report.events_processed,
+            mailbox_backlog: report.mailbox_backlog.clone(),
+        },
+        stats: art.stats,
+        races: detector.map(|d| d.report()),
+        drops: art.outcome.loss_events.len(),
     })
 }
 

@@ -24,11 +24,14 @@
 
 pub mod harness;
 pub mod oracle;
+pub mod race;
 pub mod report;
 pub mod workload;
 
 pub use harness::{
-    grid, run_schedule, sweep, HarnessConfig, Schedule, ScheduleOutcome, SweepSummary,
+    grid, run_schedule, run_schedule_instrumented, sweep, HarnessConfig, InstrumentedOutcome,
+    Schedule, ScheduleOutcome, SweepSummary,
 };
 pub use oracle::{DsmMem, Mem, OracleViolation, RefMem, Snapshot};
+pub use race::{AccessRecord, Race, RaceDetector, RaceReport};
 pub use workload::{kitchen_sink, rse_kernel, Builder, Phase, Workload};

@@ -26,7 +26,7 @@ fn fmt_trace_entry(e: &TraceEntry) -> String {
         e.time.nanos(),
         e.seq,
         e.pid,
-        if e.is_delivery { "deliver" } else { "wake" },
+        if e.is_delivery() { "deliver" } else { "wake" },
     )
 }
 

@@ -3,7 +3,39 @@
 //! checked after every run. CI runs this in release mode (see the
 //! `torture` job); the grids below total 200+ lossy schedules.
 
-use repseq_check::{grid, kitchen_sink, rse_kernel, run_schedule, sweep, HarnessConfig, Schedule};
+use std::time::Instant;
+
+use repseq_check::{
+    grid, kitchen_sink, rse_kernel, run_schedule, sweep, Builder, HarnessConfig, Schedule,
+};
+
+/// Run one seed-shard of a sweep and report its wall-clock time. The
+/// sweeps are sharded into separate `#[test]` functions so
+/// `--test-threads` parallelizes the 208-schedule grid across cores; run
+/// with `--nocapture` to see the per-shard timings.
+fn shard(
+    name: &str,
+    build: Builder,
+    cfg: &HarnessConfig,
+    seeds: std::ops::Range<u64>,
+    rates: &[u32],
+) {
+    let schedules = grid(seeds.clone(), rates, &[false, true]);
+    let expected = schedules.len();
+    let t0 = Instant::now();
+    let sum = sweep(build, cfg, &schedules);
+    eprintln!(
+        "torture shard {name} seeds {}..{}: {} schedules, {} drops, {} chain holes in {:.2?}",
+        seeds.start,
+        seeds.end,
+        sum.schedules,
+        sum.drops,
+        sum.chain_holes,
+        t0.elapsed()
+    );
+    assert_eq!(sum.schedules, expected);
+    assert!(sum.drops > 0, "the shard must actually drop frames to mean anything");
+}
 
 /// Lossless baseline: the oracle itself must hold on clean runs of both
 /// workloads (a failure here is an oracle or workload bug, not a protocol
@@ -20,27 +52,41 @@ fn clean_runs_satisfy_the_oracle() {
 
 /// The RSE-heavy kernel across seeds × drop rates × loss media. Brutal
 /// drop rates with a short recovery timeout: every schedule must converge
-/// to reference memory and leave the protocol quiescent.
+/// to reference memory and leave the protocol quiescent. Sharded by seed
+/// (4 × 42 = the original 168-schedule grid).
 #[test]
-fn torture_sweep_rse_kernel() {
-    let cfg = HarnessConfig::default();
-    let schedules = grid(0..28, &[100, 250, 400], &[false, true]);
-    assert_eq!(schedules.len(), 168);
-    let sum = sweep(rse_kernel, &cfg, &schedules);
-    assert_eq!(sum.schedules, schedules.len());
-    assert!(sum.drops > 0, "the sweep must actually drop frames to mean anything");
+fn torture_sweep_rse_kernel_shard0() {
+    shard("rse_kernel/0", rse_kernel, &HarnessConfig::default(), 0..7, &[100, 250, 400]);
+}
+
+#[test]
+fn torture_sweep_rse_kernel_shard1() {
+    shard("rse_kernel/1", rse_kernel, &HarnessConfig::default(), 7..14, &[100, 250, 400]);
+}
+
+#[test]
+fn torture_sweep_rse_kernel_shard2() {
+    shard("rse_kernel/2", rse_kernel, &HarnessConfig::default(), 14..21, &[100, 250, 400]);
+}
+
+#[test]
+fn torture_sweep_rse_kernel_shard3() {
+    shard("rse_kernel/3", rse_kernel, &HarnessConfig::default(), 21..28, &[100, 250, 400]);
 }
 
 /// The full-feature mix (locks, cross-block reads, cyclic updates) across
-/// a smaller grid at a different node count.
+/// a smaller grid at a different node count (2 × 20 = the original
+/// 40-schedule grid).
 #[test]
-fn torture_sweep_kitchen_sink() {
+fn torture_sweep_kitchen_sink_shard0() {
     let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
-    let schedules = grid(0..10, &[150, 350], &[false, true]);
-    assert_eq!(schedules.len(), 40);
-    let sum = sweep(kitchen_sink, &cfg, &schedules);
-    assert_eq!(sum.schedules, schedules.len());
-    assert!(sum.drops > 0);
+    shard("kitchen_sink/0", kitchen_sink, &cfg, 0..5, &[150, 350]);
+}
+
+#[test]
+fn torture_sweep_kitchen_sink_shard1() {
+    let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
+    shard("kitchen_sink/1", kitchen_sink, &cfg, 5..10, &[150, 350]);
 }
 
 /// Fault injection for the software TLB: with every protection-generation

@@ -66,6 +66,14 @@ impl Runtime {
         Arc::clone(&self.stats)
     }
 
+    /// Install a race sink (e.g. `repseq-check`'s `RaceDetector`) that will
+    /// observe every shared-memory access and synchronization event of the
+    /// run. Purely observational: charges no virtual time, sends no
+    /// messages.
+    pub fn set_race_sink(&mut self, sink: Arc<dyn repseq_dsm::RaceSink>) {
+        self.cluster.set_race_sink(sink);
+    }
+
     /// Allocate a shared array (8-byte aligned).
     pub fn alloc_array<T: Pod>(&mut self, len: usize) -> ShArray<T> {
         self.cluster.alloc_array(len)

@@ -108,10 +108,12 @@ impl Team {
             }
             SeqMode::MasterOnly => {
                 self.stats.set_section(Section::Sequential, self.now());
+                self.node.race_label("team::sequential");
                 f(&self.node)
             }
             SeqMode::MasterOnlyBroadcast => {
                 self.stats.set_section(Section::Sequential, self.now());
+                self.node.race_label("team::sequential");
                 f(&self.node)?;
                 self.node.broadcast_pages(broadcast_pages)
             }

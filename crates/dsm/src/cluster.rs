@@ -14,6 +14,7 @@ use crate::handler::handler_main;
 use crate::interval::PageId;
 use crate::msg::DsmMsg;
 use crate::pod::Pod;
+use crate::race::RaceSink;
 use crate::runtime::{DsmNode, Topology};
 use crate::shmem::{ShArray, ShVar};
 use crate::state::{NodeState, RseProbe};
@@ -48,6 +49,7 @@ pub struct Cluster {
     initial: HashMap<PageId, Vec<u8>>,
     alloc_next: u64,
     record_trace: bool,
+    race: Option<Arc<dyn RaceSink>>,
 }
 
 /// Everything [`Cluster::launch_inspect`] hands back for post-run
@@ -77,6 +79,7 @@ impl Cluster {
             // uninitialized.
             alloc_next: 64,
             record_trace: false,
+            race: None,
         }
     }
 
@@ -86,6 +89,15 @@ impl Cluster {
     /// memory.
     pub fn record_trace(&mut self, on: bool) {
         self.record_trace = on;
+    }
+
+    /// Install a race-detection sink: every application-side shared-memory
+    /// access and synchronization event is reported to it (see
+    /// [`RaceSink`]). Detection is purely observational — a run with a
+    /// sink installed is bit-identical in virtual time, messages, bytes
+    /// and faults to the same run without one.
+    pub fn set_race_sink(&mut self, sink: Arc<dyn RaceSink>) {
+        self.race = Some(sink);
     }
 
     /// The configuration.
@@ -192,6 +204,7 @@ impl Cluster {
             app_pids: (n..2 * n).collect(),
             handler_pids: (0..n).collect(),
             stats: Arc::clone(&self.stats),
+            race: self.race.clone(),
         });
 
         let mut sim = Sim::<DsmMsg>::new();

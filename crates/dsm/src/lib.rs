@@ -24,6 +24,7 @@ mod interval;
 mod msg;
 mod page;
 mod pod;
+mod race;
 mod rse;
 mod runtime;
 mod shmem;
@@ -37,6 +38,7 @@ pub use interval::{IntervalRecord, IntervalStore, PageId};
 pub use msg::{DsmMsg, TaskPayload};
 pub use page::{PageBuf, PageMeta};
 pub use pod::Pod;
+pub use race::{AccessKind, RaceConfig, RaceSink, SyncEdge};
 pub use runtime::{DsmNode, ParkEvent, Task, TaskFn};
 pub use shmem::{PageSlice, PageSliceMut, ShArray, ShVar};
 pub use state::{ChainProbe, NodeState, RseProbe};

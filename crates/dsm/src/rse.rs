@@ -89,8 +89,13 @@ impl DsmNode {
     /// replicated writes back through `write_fault` and its §5.3
     /// pre-section diff.
     pub fn enter_replicated(&self) {
-        let mut st = self.st.lock();
-        st.enter_replicated();
+        {
+            let mut st = self.st.lock();
+            st.enter_replicated();
+        }
+        // From here to the exit barrier this node's accesses belong to the
+        // *replica* — one logical thread executing on every node (§5.2).
+        self.race_sync(crate::race::SyncEdge::RseEnter);
     }
 
     /// Master: wait for every slave's end-of-section signal, release them,
@@ -99,6 +104,7 @@ impl DsmNode {
     /// memory coherence information is exchanged" (§5.2).
     pub fn end_replicated_master(&self) -> Result<(), Stopped> {
         assert!(self.is_master());
+        self.race_sync(crate::race::SyncEdge::RseExitArrive);
         let n = self.topo.n;
         let mut pending = n - 1;
         {
@@ -123,6 +129,7 @@ impl DsmNode {
         }
         self.ctx.charge(self.sync_cost());
         self.st.lock().exit_replicated();
+        self.race_sync(crate::race::SyncEdge::RseExitDepart);
         Ok(())
     }
 
@@ -131,6 +138,7 @@ impl DsmNode {
     pub fn end_replicated_slave(&self) -> Result<(), Stopped> {
         assert!(!self.is_master());
         let node = self.node();
+        self.race_sync(crate::race::SyncEdge::RseExitArrive);
         let msg = DsmMsg::SeqDone { from: node };
         let size = msg.wire_size();
         self.ctx.charge(self.sync_cost());
@@ -144,6 +152,7 @@ impl DsmNode {
             }
         }
         self.st.lock().exit_replicated();
+        self.race_sync(crate::race::SyncEdge::RseExitDepart);
         Ok(())
     }
 }

@@ -16,6 +16,7 @@ use crate::interval::PageId;
 use crate::msg::{DsmMsg, TaskPayload};
 use crate::page::PageBuf;
 use crate::pod::Pod;
+use crate::race::{AccessKind, AccessTap, RaceSink, SyncEdge};
 use crate::rse;
 use crate::state::NodeState;
 
@@ -63,6 +64,8 @@ pub(crate) struct Topology {
     /// Protocol-handler process of each node.
     pub handler_pids: Vec<Pid>,
     pub stats: StatsRef,
+    /// Race-detection sink, if one was installed on the cluster.
+    pub race: Option<Arc<dyn RaceSink>>,
 }
 
 impl Topology {
@@ -122,6 +125,9 @@ pub struct DsmNode {
     /// borrower, and no borrow is held across a yielding call.
     pub(crate) tlb: RefCell<Tlb>,
     pub(crate) tlb_enabled: bool,
+    /// Race-detection sink (cloned off the topology); `None` costs one
+    /// branch per access and nothing else.
+    pub(crate) race: Option<Arc<dyn RaceSink>>,
 }
 
 impl DsmNode {
@@ -136,6 +142,7 @@ impl DsmNode {
         tlb_enabled: bool,
     ) -> DsmNode {
         let prot_gen = Arc::clone(&st.lock().prot_gen);
+        let race = topo.race.clone();
         DsmNode {
             ctx,
             nic,
@@ -145,6 +152,7 @@ impl DsmNode {
             prot_gen,
             tlb: RefCell::new(Tlb::new()),
             tlb_enabled,
+            race,
         }
     }
 
@@ -195,6 +203,40 @@ impl DsmNode {
     /// checks (see [`crate::RseProbe`]).
     pub fn rse_probe(&self) -> crate::state::RseProbe {
         self.st.lock().rse_probe()
+    }
+
+    // ---------------------------------------------------------------
+    // Race-detection hooks (no-ops unless a sink is installed)
+    // ---------------------------------------------------------------
+
+    /// Report a shared-memory access to the race sink, if any.
+    #[inline]
+    pub(crate) fn race_access(&self, addr: u64, len: usize, kind: AccessKind) {
+        if let Some(sink) = &self.race {
+            sink.access(self.node(), addr, len, kind);
+        }
+    }
+
+    /// Report a synchronization event to the race sink, if any.
+    #[inline]
+    pub(crate) fn race_sync(&self, edge: SyncEdge) {
+        if let Some(sink) = &self.race {
+            sink.sync(self.node(), edge);
+        }
+    }
+
+    /// Label the code this node is about to run, for race-report
+    /// provenance (e.g. `"bh::forces"`). Purely descriptive; a no-op
+    /// without a race sink.
+    pub fn race_label(&self, label: &'static str) {
+        self.race_sync(SyncEdge::Section { label });
+    }
+
+    /// A recording handle for a page guard whose element 0 lives at
+    /// virtual address `base` (see [`AccessTap`]).
+    #[inline]
+    pub(crate) fn race_tap(&self, base: u64) -> Option<AccessTap> {
+        self.race.as_ref().map(|sink| AccessTap { sink: Arc::clone(sink), node: self.node(), base })
     }
 
     // ---------------------------------------------------------------
@@ -343,6 +385,7 @@ impl DsmNode {
         if off + T::SIZE <= self.page_size {
             // Single-page fast path: decode straight from the page, no
             // intermediate buffer, no span loop.
+            self.race_access(addr, T::SIZE, AccessKind::Read);
             let p = (addr / ps) as PageId;
             if let Some(v) = self.tlb_read(p, |data| T::read_from(&data[off..off + T::SIZE])) {
                 return Ok(v);
@@ -361,6 +404,7 @@ impl DsmNode {
         let ps = self.page_size as u64;
         let off = (addr % ps) as usize;
         if off + T::SIZE <= self.page_size {
+            self.race_access(addr, T::SIZE, AccessKind::Write);
             let p = (addr / ps) as PageId;
             if let Some(()) = self.tlb_write(p, |data| v.write_to(&mut data[off..off + T::SIZE])) {
                 return Ok(());
@@ -377,6 +421,15 @@ impl DsmNode {
     /// Read raw bytes (may span pages; each page is checked and fetched
     /// independently, as the hardware would).
     pub fn read_bytes(&self, addr: u64, out: &mut [u8]) -> Result<(), Stopped> {
+        self.race_access(addr, out.len(), AccessKind::Read);
+        self.read_bytes_quiet(addr, out)
+    }
+
+    /// [`DsmNode::read_bytes`] without the race-detection record: used for
+    /// runtime-internal reads that are not program accesses (a mutable
+    /// page guard pre-filling the unwritten bytes of a straddling
+    /// element).
+    pub(crate) fn read_bytes_quiet(&self, addr: u64, out: &mut [u8]) -> Result<(), Stopped> {
         let ps = self.page_size as u64;
         let mut off = 0usize;
         while off < out.len() {
@@ -393,6 +446,14 @@ impl DsmNode {
 
     /// Write raw bytes (may span pages).
     pub fn write_bytes(&self, addr: u64, src: &[u8]) -> Result<(), Stopped> {
+        self.race_access(addr, src.len(), AccessKind::Write);
+        self.write_bytes_quiet(addr, src)
+    }
+
+    /// [`DsmNode::write_bytes`] without the race-detection record: used
+    /// where the access was already reported element-wise (a mutable page
+    /// guard writing back a straddling element its tap recorded).
+    pub(crate) fn write_bytes_quiet(&self, addr: u64, src: &[u8]) -> Result<(), Stopped> {
         let ps = self.page_size as u64;
         let mut off = 0usize;
         while off < src.len() {
@@ -561,6 +622,7 @@ impl DsmNode {
     /// acquire (departure records merged).
     pub fn barrier(&self) -> Result<(), Stopped> {
         let node = self.node();
+        self.race_sync(SyncEdge::BarrierArrive);
         let msg = {
             let mut st = self.st.lock();
             st.close_interval();
@@ -591,6 +653,7 @@ impl DsmNode {
                         c
                     };
                     self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::BarrierDepart);
                     return Ok(());
                 }
                 other => {
@@ -614,15 +677,23 @@ impl DsmNode {
     /// Acquire a lock (an acquire access in release consistency).
     pub fn lock(&self, l: u32) -> Result<(), Stopped> {
         let node = self.node();
-        {
+        let local = {
             let mut st = self.st.lock();
             assert!(!st.lock_held.contains(&l), "recursive lock acquire");
             if st.lock_token.contains(&l) {
                 // We were the last holder: re-acquire locally, no traffic,
                 // no new consistency information.
                 st.lock_held.insert(l);
-                return Ok(());
+                true
+            } else {
+                false
             }
+        };
+        if local {
+            // Still an acquire edge for the detector (it merges this
+            // node's own release clock — a no-op for the HB relation).
+            self.race_sync(SyncEdge::LockAcquire { lock: l });
+            return Ok(());
         }
         let msg = {
             let st = self.st.lock();
@@ -662,6 +733,7 @@ impl DsmNode {
                         c
                     };
                     self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::LockAcquire { lock: l });
                     return Ok(());
                 }
                 other => {
@@ -677,6 +749,9 @@ impl DsmNode {
     /// node's acquire is queued here, the grant — with the consistency
     /// information the acquirer lacks — goes straight to it.
     pub fn unlock(&self, l: u32) -> Result<(), Stopped> {
+        // The release edge must be recorded before the grant can move the
+        // lock anywhere else.
+        self.race_sync(SyncEdge::LockRelease { lock: l });
         let grant = {
             let mut st = self.st.lock();
             assert!(st.lock_held.remove(&l), "releasing a lock we do not hold");
@@ -709,6 +784,7 @@ impl DsmNode {
     pub fn fork_slaves(&self, task: TaskPayload, replicated: bool) -> Result<(), Stopped> {
         assert!(self.is_master(), "only the master forks");
         let n = self.topo.n;
+        self.race_sync(SyncEdge::ForkSend);
         self.st.lock().close_interval();
         for s in 1..n {
             let msg = {
@@ -741,6 +817,7 @@ impl DsmNode {
                         c
                     };
                     self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::ForkRecv);
                     return Ok(ParkEvent::Task { task, replicated });
                 }
                 DsmMsg::ValidNoticeRequest { reply_to } => {
@@ -767,6 +844,7 @@ impl DsmNode {
     pub fn join_master(&self) -> Result<(), Stopped> {
         assert!(!self.is_master());
         let node = self.node();
+        self.race_sync(SyncEdge::JoinSend);
         let msg = {
             let mut st = self.st.lock();
             st.close_interval();
@@ -798,6 +876,7 @@ impl DsmNode {
                     c
                 };
                 self.ctx.charge(cost + self.sync_cost());
+                self.race_sync(SyncEdge::JoinRecv { from });
                 pending -= 1;
             }
         }
@@ -812,6 +891,7 @@ impl DsmNode {
                         c
                     };
                     self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::JoinRecv { from });
                     pending -= 1;
                 }
                 DsmMsg::WakePage { .. } => {}

@@ -27,6 +27,7 @@ use repseq_sim::Stopped;
 use crate::interval::PageId;
 use crate::page::PageBuf;
 use crate::pod::Pod;
+use crate::race::{AccessKind, AccessTap};
 use crate::runtime::DsmNode;
 
 /// A read guard over one single-page run of elements: `len()` elements of
@@ -37,6 +38,9 @@ pub struct PageSlice<T: Pod> {
     byte_off: usize,
     first: usize,
     count: usize,
+    /// Race-detection tap over the run (None when no sink is installed,
+    /// or when the run's access was already recorded at creation).
+    tap: Option<AccessTap>,
     _t: PhantomData<fn() -> T>,
 }
 
@@ -60,6 +64,9 @@ impl<T: Pod> PageSlice<T> {
     #[inline]
     pub fn get(&self, k: usize) -> T {
         assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        if let Some(tap) = &self.tap {
+            tap.element(k, T::SIZE, AccessKind::Read);
+        }
         let off = self.byte_off + k * T::SIZE;
         T::read_from(&self.buf.slice()[off..off + T::SIZE])
     }
@@ -77,6 +84,8 @@ pub struct PageSliceMut<T: Pod> {
     /// back through the MMU after the closure if `written`.
     detached: Option<u64>,
     written: bool,
+    /// Race-detection tap over the run (None when no sink is installed).
+    tap: Option<AccessTap>,
     _t: PhantomData<fn() -> T>,
 }
 
@@ -100,6 +109,9 @@ impl<T: Pod> PageSliceMut<T> {
     #[inline]
     pub fn get(&self, k: usize) -> T {
         assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        if let Some(tap) = &self.tap {
+            tap.element(k, T::SIZE, AccessKind::Read);
+        }
         let off = self.byte_off + k * T::SIZE;
         T::read_from(&self.buf.slice()[off..off + T::SIZE])
     }
@@ -108,6 +120,9 @@ impl<T: Pod> PageSliceMut<T> {
     #[inline]
     pub fn set(&mut self, k: usize, v: T) {
         assert!(k < self.count, "run index {k} out of bounds ({} elements)", self.count);
+        if let Some(tap) = &self.tap {
+            tap.element(k, T::SIZE, AccessKind::Write);
+        }
         let off = self.byte_off + k * T::SIZE;
         v.write_to(&mut self.buf.slice_mut()[off..off + T::SIZE]);
         self.written = true;
@@ -181,12 +196,14 @@ impl<T: Pod> ShArray<T> {
             let in_page = (a % ps as u64) as usize;
             if in_page + T::SIZE > ps {
                 let mut bytes = vec![0u8; T::SIZE];
+                // `read_bytes` records the access; no tap on the run.
                 node.read_bytes(a, &mut bytes)?;
                 let run = PageSlice {
                     buf: PageBuf::new(bytes.into_boxed_slice()),
                     byte_off: 0,
                     first: i,
                     count: 1,
+                    tap: None,
                     _t: PhantomData,
                 };
                 f(&run)?;
@@ -195,7 +212,14 @@ impl<T: Pod> ShArray<T> {
                 let count = ((ps - in_page) / T::SIZE).min(range.end - i);
                 let p = (a / ps as u64) as PageId;
                 let buf = node.page_for_read(p)?;
-                let run = PageSlice { buf, byte_off: in_page, first: i, count, _t: PhantomData };
+                let run = PageSlice {
+                    buf,
+                    byte_off: in_page,
+                    first: i,
+                    count,
+                    tap: node.race_tap(a),
+                    _t: PhantomData,
+                };
                 f(&run)?;
                 i += count;
             }
@@ -223,7 +247,10 @@ impl<T: Pod> ShArray<T> {
             let in_page = (a % ps as u64) as usize;
             if in_page + T::SIZE > ps {
                 let mut bytes = vec![0u8; T::SIZE];
-                node.read_bytes(a, &mut bytes)?;
+                // The pre-fill is runtime bookkeeping, not a program read;
+                // the tap records what the closure actually touches, and
+                // the write-back below re-uses its record.
+                node.read_bytes_quiet(a, &mut bytes)?;
                 let mut run = PageSliceMut {
                     buf: PageBuf::new(bytes.into_boxed_slice()),
                     byte_off: 0,
@@ -231,12 +258,13 @@ impl<T: Pod> ShArray<T> {
                     count: 1,
                     detached: Some(a),
                     written: false,
+                    tap: node.race_tap(a),
                     _t: PhantomData,
                 };
                 f(&mut run)?;
                 if let Some(addr) = run.detached {
                     if run.written {
-                        node.write_bytes(addr, run.buf.slice())?;
+                        node.write_bytes_quiet(addr, run.buf.slice())?;
                     }
                 }
                 i += 1;
@@ -251,6 +279,7 @@ impl<T: Pod> ShArray<T> {
                     count,
                     detached: None,
                     written: false,
+                    tap: node.race_tap(a),
                     _t: PhantomData,
                 };
                 f(&mut run)?;

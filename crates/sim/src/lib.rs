@@ -31,4 +31,4 @@ pub use ctx::Ctx;
 pub use engine::{Envelope, Pid, Sim, SimReport};
 pub use error::{SimError, Stopped};
 pub use time::{Dur, SimTime};
-pub use trace::{first_divergence, Divergence, TraceEntry};
+pub use trace::{first_divergence, Divergence, TraceClass, TraceEntry};

@@ -3,6 +3,15 @@
 use crate::engine::{Event, EventKind, Pid};
 use crate::time::SimTime;
 
+/// What kind of kernel event a trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// A process wake (timer expiry, spawn, or an explicit wakeup).
+    Wake,
+    /// A message delivery into a process mailbox.
+    Deliver,
+}
+
 /// A compact record of one processed kernel event. Two runs of the same
 /// simulation must produce identical traces; the determinism tests rely on
 /// this.
@@ -14,17 +23,22 @@ pub struct TraceEntry {
     pub seq: u64,
     /// Affected process.
     pub pid: Pid,
-    /// True for a message delivery, false for a wake.
-    pub is_delivery: bool,
+    /// Event class.
+    pub class: TraceClass,
 }
 
 impl TraceEntry {
     pub(crate) fn from_event<M>(ev: &Event<M>) -> Self {
-        let (pid, is_delivery) = match &ev.kind {
-            EventKind::Wake { pid, .. } => (*pid, false),
-            EventKind::Deliver { dst, .. } => (*dst, true),
+        let (pid, class) = match &ev.kind {
+            EventKind::Wake { pid, .. } => (*pid, TraceClass::Wake),
+            EventKind::Deliver { dst, .. } => (*dst, TraceClass::Deliver),
         };
-        TraceEntry { time: ev.time, seq: ev.seq, pid, is_delivery }
+        TraceEntry { time: ev.time, seq: ev.seq, pid, class }
+    }
+
+    /// True for a message delivery, false for a wake.
+    pub fn is_delivery(&self) -> bool {
+        self.class == TraceClass::Deliver
     }
 }
 

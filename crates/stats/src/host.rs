@@ -25,6 +25,8 @@ static TWIN_POOL_HITS: AtomicU64 = AtomicU64::new(0);
 static TWIN_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 static TLB_HITS: AtomicU64 = AtomicU64::new(0);
 static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
+static RACE_CHECKS: AtomicU64 = AtomicU64::new(0);
+static RACES_FOUND: AtomicU64 = AtomicU64::new(0);
 
 /// A running timer; hand it to one of the `record_*` functions when the
 /// measured region ends.
@@ -74,6 +76,21 @@ pub fn tlb_miss() {
     TLB_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// The race detector checked one shadow granule against an access.
+/// Host-side like everything here: the detector observes the simulation
+/// and never feeds back into it, so these counters live outside the
+/// deterministic per-node [`crate::Stats`] registry on purpose — the
+/// detector-invariance gate compares those snapshots bit-for-bit with the
+/// detector on and off.
+pub fn race_check() {
+    RACE_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The race detector found a pair of unordered conflicting accesses.
+pub fn race_found() {
+    RACES_FOUND.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Snapshot of the host-side diff-engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostCounters {
@@ -96,6 +113,10 @@ pub struct HostCounters {
     pub tlb_hits: u64,
     /// Accesses that took the locked page walk.
     pub tlb_misses: u64,
+    /// Shadow-granule checks performed by the race detector.
+    pub race_checks: u64,
+    /// Unordered conflicting access pairs the race detector found.
+    pub races_found: u64,
 }
 
 /// Read the counters accumulated since process start (or the last
@@ -112,6 +133,8 @@ pub fn snapshot() -> HostCounters {
         twin_pool_misses: TWIN_POOL_MISSES.load(Ordering::Relaxed),
         tlb_hits: TLB_HITS.load(Ordering::Relaxed),
         tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
+        race_checks: RACE_CHECKS.load(Ordering::Relaxed),
+        races_found: RACES_FOUND.load(Ordering::Relaxed),
     }
 }
 
@@ -130,6 +153,8 @@ pub fn reset() {
         &TWIN_POOL_MISSES,
         &TLB_HITS,
         &TLB_MISSES,
+        &RACE_CHECKS,
+        &RACES_FOUND,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -149,6 +174,8 @@ impl HostCounters {
             twin_pool_misses: self.twin_pool_misses - earlier.twin_pool_misses,
             tlb_hits: self.tlb_hits - earlier.tlb_hits,
             tlb_misses: self.tlb_misses - earlier.tlb_misses,
+            race_checks: self.race_checks - earlier.race_checks,
+            races_found: self.races_found - earlier.races_found,
         }
     }
 }
@@ -168,6 +195,9 @@ mod tests {
         twin_pool_miss();
         tlb_hit();
         tlb_miss();
+        race_check();
+        race_check();
+        race_found();
         let delta = snapshot().since(&before);
         assert_eq!(delta.diff_create_calls, 1);
         assert_eq!(delta.diff_create_bytes, 8192);
@@ -177,5 +207,7 @@ mod tests {
         assert_eq!(delta.twin_pool_misses, 1);
         assert_eq!(delta.tlb_hits, 1);
         assert_eq!(delta.tlb_misses, 1);
+        assert_eq!(delta.race_checks, 2);
+        assert_eq!(delta.races_found, 1);
     }
 }

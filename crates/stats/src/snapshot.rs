@@ -5,7 +5,11 @@ use repseq_sim::Dur;
 use crate::registry::{section_idx, Section};
 
 /// Counters for one (node, section) pair.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq`/`Eq` so whole snapshots can be compared bit-for-bit: the
+/// race-detector invariance gate asserts that a run with the detector
+/// installed produces exactly the snapshot of the same run without it.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SectionCounters {
     /// Frames sent (multicast counted once).
     pub messages: u64,
@@ -52,7 +56,7 @@ impl SectionCounters {
 }
 
 /// Per-node snapshot (indexed by `Section`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSnapshot {
     pub sections: [SectionCounters; 4],
 }
@@ -72,7 +76,7 @@ impl SectionAgg {
 }
 
 /// A complete end-of-run snapshot.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub nodes: Vec<NodeSnapshot>,
     pub(crate) section_time: [Dur; 4],
