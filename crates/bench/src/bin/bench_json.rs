@@ -369,6 +369,43 @@ fn write_bench_table1(
     std::fs::write("BENCH_table1.json", s)
 }
 
+/// The three-way sequential-section strategy comparison (§2, §6.1.2):
+/// master-only, master-plus-broadcast (MasterPush) and replicated (RSE) on
+/// the same contended Barnes-Hut run. MasterPush removes the demand-fetch
+/// request storm but still serializes the whole tree through the master's
+/// transmit link, so RSE must stay ahead of it once the tree is big enough
+/// to be worth contending over — the run is pinned at 8192 bodies and at
+/// least 16 nodes regardless of the (smoke-sized) table-run scale.
+fn write_bench_modes(
+    n: usize,
+    bodies: usize,
+    orig: &RunOutcome<BhResult>,
+    push: &RunOutcome<BhResult>,
+    opt: &RunOutcome<BhResult>,
+    commit: &str,
+) -> std::io::Result<()> {
+    let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"seq_exec_modes_barnes_hut\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
+    let _ = writeln!(s, "  \"bodies\": {bodies},");
+    let _ = writeln!(s, "  \"nodes\": {n},");
+    s.push_str(
+        "  \"note\": \"same workload and cluster for all three strategies; times are simulated seconds. master_push broadcasts the section's written pages over the master's link (contention moves from request storm to transmit serialization); rse replicates the section so no page of it ever crosses the wire\",\n",
+    );
+    s.push_str("  \"simulated\": {\n");
+    let _ = writeln!(s, "    \"master_only_time_s\": {:.6},", t(orig));
+    let _ = writeln!(s, "    \"master_push_time_s\": {:.6},", t(push));
+    let _ = writeln!(s, "    \"rse_time_s\": {:.6},", t(opt));
+    let _ = writeln!(s, "    \"push_vs_master_only\": {:.3},", t(orig) / t(push));
+    let _ = writeln!(s, "    \"rse_vs_master_only\": {:.3},", t(orig) / t(opt));
+    let _ = writeln!(s, "    \"rse_vs_push\": {:.3}", t(push) / t(opt));
+    s.push_str("  }\n}\n");
+    std::fs::write("BENCH_modes.json", s)
+}
+
 fn main() {
     let commit = commit_id();
     println!("diff-engine micro-benchmarks ({SAMPLES}-sample medians)...");
@@ -477,4 +514,37 @@ fn main() {
     write_bench_table1(scale, n, &seq, &orig, &opt, &counters, host_wall_s, &commit)
         .expect("writing BENCH_table1.json");
     println!("wrote BENCH_table1.json");
+
+    // Strategy comparison on a tree big enough to contend over: the tiny
+    // table config would let the broadcast win on sheer smallness.
+    let modes_n = n.max(16);
+    let modes_cfg = repseq_apps::barnes_hut::BhConfig::scaled(8_192);
+    let bodies = modes_cfg.n_bodies;
+    println!(
+        "strategy comparison: {bodies} bodies, {} timesteps, {modes_n} nodes...",
+        modes_cfg.timesteps
+    );
+    let m_orig = run_barnes(SeqMode::MasterOnly, modes_n, modes_cfg.clone());
+    let m_push = run_barnes(SeqMode::MasterPush, modes_n, modes_cfg.clone());
+    let m_opt = run_barnes(SeqMode::Replicated, modes_n, modes_cfg);
+    assert_eq!(m_orig.result, m_push.result, "strategies must agree on the physics");
+    assert_eq!(m_orig.result, m_opt.result, "strategies must agree on the physics");
+    let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
+    println!(
+        "  master_only {:.6}s   master_push {:.6}s   rse {:.6}s",
+        t(&m_orig),
+        t(&m_push),
+        t(&m_opt)
+    );
+    assert!(
+        t(&m_opt) < t(&m_push),
+        "RSE must beat MasterPush on the contended tree rebuild at {modes_n} nodes \
+         (rse {:.6}s vs push {:.6}s): the broadcast still serializes the whole \
+         tree through the master's transmit link (§2)",
+        t(&m_opt),
+        t(&m_push)
+    );
+    write_bench_modes(modes_n, bodies, &m_orig, &m_push, &m_opt, &commit)
+        .expect("writing BENCH_modes.json");
+    println!("wrote BENCH_modes.json");
 }

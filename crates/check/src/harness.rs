@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use repseq_dsm::{AppFn, Cluster, ClusterConfig, DsmNode, LaunchOutcome, PageId, RaceSink};
+use repseq_dsm::{
+    AppFn, Cluster, ClusterConfig, DsmNode, LaunchOutcome, PageId, RaceSink, SeqExecMode,
+};
 use repseq_net::LossConfig;
 use repseq_sim::{Dur, SimTime, Stopped};
 use repseq_stats::{Stats, StatsSnapshot};
@@ -54,11 +56,20 @@ pub struct HarnessConfig {
     /// implementation MUST fail the oracle under this — it proves the
     /// generation counter is what keeps the TLB coherent.
     pub break_generation_bumps: bool,
+    /// Which [`repseq_dsm::SeqExecStrategy`] the workload's sequential
+    /// phases run under. The oracle and the invariant checks are
+    /// strategy-agnostic, so the same sweep grid tortures every strategy.
+    pub seq_exec: SeqExecMode,
 }
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { nodes: 3, rse_timeout: Dur::from_millis(20), break_generation_bumps: false }
+        HarnessConfig {
+            nodes: 3,
+            rse_timeout: Dur::from_millis(20),
+            break_generation_bumps: false,
+            seq_exec: SeqExecMode::Rse,
+        }
     }
 }
 
@@ -169,6 +180,7 @@ pub(crate) fn run_once(
     ccfg.net.loss = loss;
     ccfg.dsm.rse_timeout = cfg.rse_timeout;
     ccfg.dsm.tlb_break_generation_bumps = cfg.break_generation_bumps;
+    ccfg.dsm.seq_exec = cfg.seq_exec;
     let mut cl = Cluster::new(ccfg, Arc::clone(&stats));
     cl.record_trace(trace);
     if let Some(sink) = race {
@@ -190,7 +202,7 @@ pub(crate) fn run_once(
                     let body = Arc::clone(body);
                     let audit = Arc::clone(&audit_master);
                     let coll = Arc::clone(&coll_master);
-                    node.run_replicated(move |nd| {
+                    node.run_sequential(move |nd| {
                         body(&mut DsmMem(nd))?;
                         take_snapshot(nd, k, &audit, &coll);
                         Ok(())

@@ -1,0 +1,204 @@
+//! Refactor-invariance pins: byte-exact fingerprints of the two
+//! pre-existing sequential-section modes (`MasterOnly` and `Rse`),
+//! captured at the commit *before* the layered decomposition of
+//! `repseq-dsm` and committed under `tests/pins/`.
+//!
+//! Every pinned run renders the determinism-relevant residue of the
+//! simulation — virtual end time, per-process clocks, kernel event
+//! count, mailbox backlog, the full per-node per-section statistics
+//! snapshot, and the computed application result — into a canonical
+//! text form and compares it byte-for-byte against the committed pin.
+//! Any drift in message counts, virtual timing, or numerics under the
+//! pre-existing modes fails the suite, proving the refactor is
+//! behaviour-preserving where it claims to be.
+//!
+//! Regenerate (only at a commit whose behaviour is the new reference):
+//!
+//! ```text
+//! REPSEQ_PIN_REGEN=1 cargo test -p repseq-check --release --test pins
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_apps::barnes_hut::{BarnesHut, BhConfig};
+use repseq_apps::ilink::{Ilink, IlinkConfig};
+use repseq_check::{
+    kitchen_sink, rse_kernel, run_schedule_instrumented, Builder, HarnessConfig, Schedule,
+};
+use repseq_core::{RunConfig, Runtime};
+use repseq_sim::SimReport;
+use repseq_stats::StatsSnapshot;
+
+const PIN_NODES: usize = 8;
+
+// ---------------------------------------------------------------------
+// Canonical rendering
+// ---------------------------------------------------------------------
+
+/// Render a simulation report + statistics snapshot (+ optional
+/// app-result debug string) as stable, human-diffable text.
+fn render(report: &SimReport, stats: &StatsSnapshot, result: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "end_time_ns: {}", report.end_time.nanos()).unwrap();
+    writeln!(s, "events_processed: {}", report.events_processed).unwrap();
+    writeln!(s, "proc_clocks:").unwrap();
+    for (name, t) in &report.proc_clocks {
+        writeln!(s, "  {name}: {}", t.nanos()).unwrap();
+    }
+    writeln!(s, "mailbox_backlog:").unwrap();
+    for (name, n) in &report.mailbox_backlog {
+        writeln!(s, "  {name}: {n}").unwrap();
+    }
+    render_stats(&mut s, stats);
+    writeln!(s, "result: {result}").unwrap();
+    s
+}
+
+fn render_stats(s: &mut String, stats: &StatsSnapshot) {
+    writeln!(s, "total_time_ns: {}", stats.total_time.nanos()).unwrap();
+    writeln!(s, "seq_time_ns: {}", stats.seq_time().nanos()).unwrap();
+    writeln!(s, "par_time_ns: {}", stats.par_time().nanos()).unwrap();
+    for (i, node) in stats.nodes.iter().enumerate() {
+        writeln!(s, "node {i}:").unwrap();
+        for (j, sec) in node.sections.iter().enumerate() {
+            writeln!(s, "  section {j}: {sec:?}").unwrap();
+        }
+    }
+}
+
+fn pin_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/pins").join(format!("{name}.pin"))
+}
+
+/// Compare `rendered` against the committed pin, or rewrite the pin when
+/// `REPSEQ_PIN_REGEN=1`.
+fn check_pin(name: &str, rendered: &str) {
+    let path = pin_path(name);
+    if std::env::var("REPSEQ_PIN_REGEN").map(|v| v == "1").unwrap_or(false) {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("pin dir");
+        std::fs::write(&path, rendered).expect("pin write");
+        eprintln!("regenerated pin {}", path.display());
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing pin {} ({e}); run with REPSEQ_PIN_REGEN=1", name));
+    assert_eq!(
+        pinned,
+        rendered,
+        "fingerprint for `{name}` drifted from the pre-refactor pin \
+         ({}). The pinned modes must stay bit-identical across refactors.",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Application pins: Barnes-Hut and Ilink under both pre-existing modes
+// ---------------------------------------------------------------------
+
+fn pin_bh(name: &str, cfg: RunConfig) {
+    let mut rt = Runtime::new(cfg);
+    let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
+    let stats = rt.stats();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let report = rt
+        .run(move |team| {
+            *slot.lock() = Some(bh.run(team)?);
+            Ok(())
+        })
+        .expect("BH pin run must complete");
+    let r = result.lock().take().expect("BH result recorded");
+    check_pin(name, &render(&report, &stats.snapshot(), &format!("{r:?}")));
+}
+
+fn pin_ilink(name: &str, cfg: RunConfig) {
+    let mut rt = Runtime::new(cfg);
+    let il = Ilink::setup(&mut rt, IlinkConfig::tiny());
+    let stats = rt.stats();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let report = rt
+        .run(move |team| {
+            *slot.lock() = Some(il.run(team)?);
+            Ok(())
+        })
+        .expect("Ilink pin run must complete");
+    let r = result.lock().take().expect("Ilink result recorded");
+    check_pin(name, &render(&report, &stats.snapshot(), &format!("{r:?}")));
+}
+
+#[test]
+fn barnes_hut_master_only_matches_pre_refactor_pin() {
+    pin_bh("bh_master_only", RunConfig::original(PIN_NODES));
+}
+
+#[test]
+fn barnes_hut_rse_matches_pre_refactor_pin() {
+    pin_bh("bh_rse", RunConfig::optimized(PIN_NODES));
+}
+
+#[test]
+fn ilink_master_only_matches_pre_refactor_pin() {
+    pin_ilink("ilink_master_only", RunConfig::original(PIN_NODES));
+}
+
+#[test]
+fn ilink_rse_matches_pre_refactor_pin() {
+    pin_ilink("ilink_rse", RunConfig::optimized(PIN_NODES));
+}
+
+// ---------------------------------------------------------------------
+// Harness pins: the torture workloads through the oracle harness,
+// clean and lossy, under the default (Rse) strategy
+// ---------------------------------------------------------------------
+
+fn pin_harness(name: &str, build: Builder, cfg: &HarnessConfig, sched: Schedule) {
+    let out = run_schedule_instrumented(build, cfg, sched, None).unwrap_or_else(|e| panic!("{e}"));
+    let mut s = String::new();
+    writeln!(s, "end_time_ns: {}", out.sim.end_time.nanos()).unwrap();
+    writeln!(s, "events_processed: {}", out.sim.events_processed).unwrap();
+    writeln!(s, "proc_clocks:").unwrap();
+    for (pname, t) in &out.sim.proc_clocks {
+        writeln!(s, "  {pname}: {}", t.nanos()).unwrap();
+    }
+    writeln!(s, "mailbox_backlog:").unwrap();
+    for (pname, n) in &out.sim.mailbox_backlog {
+        writeln!(s, "  {pname}: {n}").unwrap();
+    }
+    writeln!(s, "drops: {}", out.drops).unwrap();
+    render_stats(&mut s, &out.stats);
+    check_pin(name, &s);
+}
+
+#[test]
+fn rse_kernel_clean_matches_pre_refactor_pin() {
+    pin_harness(
+        "kernel_clean",
+        rse_kernel,
+        &HarnessConfig::default(),
+        Schedule { seed: 0, drop_per_mille: 0, unicast: false },
+    );
+}
+
+#[test]
+fn rse_kernel_lossy_matches_pre_refactor_pin() {
+    pin_harness(
+        "kernel_lossy",
+        rse_kernel,
+        &HarnessConfig::default(),
+        Schedule { seed: 3, drop_per_mille: 250, unicast: true },
+    );
+}
+
+#[test]
+fn kitchen_sink_clean_matches_pre_refactor_pin() {
+    pin_harness(
+        "sink_clean",
+        kitchen_sink,
+        &HarnessConfig { nodes: 4, ..HarnessConfig::default() },
+        Schedule { seed: 0, drop_per_mille: 0, unicast: false },
+    );
+}

@@ -8,8 +8,9 @@
 //!    a straggler's read) MUST be detected, with the exact page and
 //!    section labels in the report, and its minimally-fixed twin MUST
 //!    certify clean. A detector that goes quiet on these is broken.
-//! 2. **Certification** — full Barnes-Hut and Ilink runs, under both the
-//!    base system and replicated sequential execution, at 8 nodes, must
+//! 2. **Certification** — full Barnes-Hut and Ilink runs, under all three
+//!    sequential-section strategies (master-only, replicated sequential
+//!    execution, master-push), at 8 nodes, must
 //!    report zero races; the resulting `RaceReport` JSON is written next
 //!    to the bench artifacts for the CI `race-certify` job to upload.
 //! 3. **Invariance** — the detector is purely observational: any torture
@@ -213,7 +214,7 @@ fn joining_before_the_write_fixes_the_straggler() {
 }
 
 // ---------------------------------------------------------------------
-// Certification: Barnes-Hut and Ilink, RSE on and off, 8 nodes
+// Certification: Barnes-Hut and Ilink, all three strategies, 8 nodes
 // ---------------------------------------------------------------------
 
 const CERT_NODES: usize = 8;
@@ -298,6 +299,7 @@ fn barnes_hut_certifies_race_free_and_detector_is_invariant() {
     for (tag, cfg) in [
         ("bh_rse_off", RunConfig::original(CERT_NODES)),
         ("bh_rse_on", RunConfig::optimized(CERT_NODES)),
+        ("bh_push", RunConfig::master_push(CERT_NODES)),
     ] {
         let det = detector_for(&cfg);
         let (r_on, fp_on) = run_bh(cfg.clone(), Some(Arc::clone(&det)));
@@ -316,6 +318,7 @@ fn ilink_certifies_race_free_and_detector_is_invariant() {
     for (tag, cfg) in [
         ("ilink_rse_off", RunConfig::original(CERT_NODES)),
         ("ilink_rse_on", RunConfig::optimized(CERT_NODES)),
+        ("ilink_push", RunConfig::master_push(CERT_NODES)),
     ] {
         let det = detector_for(&cfg);
         let (r_on, fp_on) = run_ilink(cfg.clone(), Some(Arc::clone(&det)));

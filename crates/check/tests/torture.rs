@@ -8,6 +8,7 @@ use std::time::Instant;
 use repseq_check::{
     grid, kitchen_sink, rse_kernel, run_schedule, sweep, Builder, HarnessConfig, Schedule,
 };
+use repseq_dsm::SeqExecMode;
 
 /// Run one seed-shard of a sweep and report its wall-clock time. The
 /// sweeps are sharded into separate `#[test]` functions so
@@ -38,15 +39,17 @@ fn shard(
 }
 
 /// Lossless baseline: the oracle itself must hold on clean runs of both
-/// workloads (a failure here is an oracle or workload bug, not a protocol
-/// bug).
+/// workloads under every sequential-execution strategy (a failure here is
+/// an oracle or workload bug, not a protocol bug).
 #[test]
 fn clean_runs_satisfy_the_oracle() {
-    let cfg = HarnessConfig::default();
     let clean = Schedule { seed: 0, drop_per_mille: 0, unicast: false };
-    for build in [rse_kernel, kitchen_sink] {
-        let out = run_schedule(build, &cfg, clean).unwrap_or_else(|r| panic!("{r}"));
-        assert_eq!(out.drops, 0);
+    for seq_exec in [SeqExecMode::MasterOnly, SeqExecMode::Rse, SeqExecMode::MasterPush] {
+        let cfg = HarnessConfig { seq_exec, ..HarnessConfig::default() };
+        for build in [rse_kernel, kitchen_sink] {
+            let out = run_schedule(build, &cfg, clean).unwrap_or_else(|r| panic!("{r}"));
+            assert_eq!(out.drops, 0);
+        }
     }
 }
 
@@ -87,6 +90,23 @@ fn torture_sweep_kitchen_sink_shard0() {
 fn torture_sweep_kitchen_sink_shard1() {
     let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
     shard("kitchen_sink/1", kitchen_sink, &cfg, 5..10, &[150, 350]);
+}
+
+/// The MasterPush strategy under loss: a dropped `PageBroadcast` frame
+/// must degrade to a demand fetch in the next parallel section, never to
+/// stale data. Same workloads, same oracle, no chain machinery — so the
+/// shards assert drops only.
+#[test]
+fn torture_sweep_master_push_shard0() {
+    let cfg = HarnessConfig { seq_exec: SeqExecMode::MasterPush, ..HarnessConfig::default() };
+    shard("master_push/rse_kernel", rse_kernel, &cfg, 0..7, &[100, 250, 400]);
+}
+
+#[test]
+fn torture_sweep_master_push_shard1() {
+    let cfg =
+        HarnessConfig { nodes: 4, seq_exec: SeqExecMode::MasterPush, ..HarnessConfig::default() };
+    shard("master_push/kitchen_sink", kitchen_sink, &cfg, 0..5, &[150, 350]);
 }
 
 /// Fault injection for the software TLB: with every protection-generation

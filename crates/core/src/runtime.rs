@@ -35,6 +35,23 @@ impl RunConfig {
     pub fn broadcast(n: usize) -> Self {
         RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::MasterOnlyBroadcast }
     }
+
+    /// Master-only execution with an automatic push of the section's
+    /// written pages (see [`SeqMode::MasterPush`]).
+    pub fn master_push(n: usize) -> Self {
+        RunConfig { cluster: ClusterConfig::paper(n), seq_mode: SeqMode::MasterPush }
+    }
+}
+
+/// The DSM-layer strategy implied by a [`SeqMode`]. The Team's mode is the
+/// single source of truth; the cluster config's `seq_exec` is derived from
+/// it so `DsmNode::run_sequential` dispatches consistently.
+fn seq_exec_for(mode: SeqMode) -> repseq_dsm::SeqExecMode {
+    match mode {
+        SeqMode::Replicated => repseq_dsm::SeqExecMode::Rse,
+        SeqMode::MasterOnly | SeqMode::MasterOnlyBroadcast => repseq_dsm::SeqExecMode::MasterOnly,
+        SeqMode::MasterPush => repseq_dsm::SeqExecMode::MasterPush,
+    }
 }
 
 /// A run under construction: allocate and preload shared data, then
@@ -54,8 +71,10 @@ impl Runtime {
 
     /// Build a runtime reporting into an existing registry.
     pub fn with_stats(cfg: RunConfig, stats: StatsRef) -> Runtime {
+        let mut cluster_cfg = cfg.cluster;
+        cluster_cfg.dsm.seq_exec = seq_exec_for(cfg.seq_mode);
         Runtime {
-            cluster: Cluster::new(cfg.cluster, Arc::clone(&stats)),
+            cluster: Cluster::new(cluster_cfg, Arc::clone(&stats)),
             mode: cfg.seq_mode,
             stats,
         }

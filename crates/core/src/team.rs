@@ -23,6 +23,13 @@ pub enum SeqMode {
     /// The §6.1.2 ablation: master-only execution, followed by a
     /// hand-inserted broadcast of the pages named by the section.
     MasterOnlyBroadcast,
+    /// Master-only execution, followed by an *automatic* broadcast of
+    /// every page the section wrote (no hand-inserted page list). A
+    /// natural middle ground between [`SeqMode::MasterOnly`] and
+    /// [`SeqMode::Replicated`]: it eliminates the post-section demand
+    /// misses but still serializes the pushes through the master's single
+    /// transmit link — the §2 contention that replication removes.
+    MasterPush,
 }
 
 /// Handle to the running team, available in the master program. All
@@ -104,12 +111,12 @@ impl Team {
         match self.mode {
             SeqMode::Replicated => {
                 self.stats.set_section(Section::Replicated, self.now());
-                self.node.run_replicated(f)
+                self.node.run_sequential(f)
             }
-            SeqMode::MasterOnly => {
+            SeqMode::MasterOnly | SeqMode::MasterPush => {
                 self.stats.set_section(Section::Sequential, self.now());
                 self.node.race_label("team::sequential");
-                f(&self.node)
+                self.node.run_sequential(f)
             }
             SeqMode::MasterOnlyBroadcast => {
                 self.stats.set_section(Section::Sequential, self.now());

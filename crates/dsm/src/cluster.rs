@@ -17,7 +17,8 @@ use crate::pod::Pod;
 use crate::race::RaceSink;
 use crate::runtime::{DsmNode, Topology};
 use crate::shmem::{ShArray, ShVar};
-use crate::state::{NodeState, RseProbe};
+use crate::state::NodeState;
+use crate::strategy::RseProbe;
 
 /// Everything needed to build a simulated DSM cluster.
 #[derive(Debug, Clone)]

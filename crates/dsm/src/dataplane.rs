@@ -1,0 +1,535 @@
+//! The data plane: page contents, twins, diffs, the twin buffer pool and
+//! software-TLB revocation (the protection generation).
+//!
+//! This layer owns *the bytes*: materializing pages from the initial
+//! image, twinning on write faults, lazy diff creation and application,
+//! the diff cache, and every protection change that must invalidate the
+//! application process's software TLB. It consults the consistency layer
+//! for what a copy is missing (`missing_notices` against the interval
+//! store) but never mutates interval or vector-clock state beyond the
+//! coverage stamp (`valid_at`) of its own pages.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use repseq_sim::Dur;
+use repseq_stats::{host, NodeId};
+
+use crate::diff::Diff;
+use crate::interval::PageId;
+use crate::page::{DiffEntry, DiffRecord, PageBuf, PageMeta};
+
+/// Twin-pool cap for nodes whose cluster never called
+/// [`NodeState::size_twin_pool`] (unit tests, hand-built states). Clusters
+/// size the pool from the shared-segment page count instead, since a full
+/// sweep over the segment can twin every page of it.
+const TWIN_POOL_DEFAULT_CAP: usize = 64;
+
+/// Most buffers [`NodeState::size_twin_pool`] prewarms eagerly; beyond
+/// this, first-touch allocation is cheaper than the up-front memory.
+const TWIN_POOL_PREWARM_MAX: usize = 256;
+
+/// Take a page buffer from `pool` (or allocate) and fill it with `src`.
+/// Free functions rather than methods so callers can hold a `&mut` into
+/// the page table at the same time (disjoint field borrows).
+pub(crate) fn pool_take(pool: &mut Vec<Box<[u8]>>, src: &[u8]) -> Box<[u8]> {
+    match pool.pop() {
+        Some(mut buf) if buf.len() == src.len() => {
+            host::twin_pool_hit();
+            buf.copy_from_slice(src);
+            buf
+        }
+        _ => {
+            host::twin_pool_miss();
+            src.to_vec().into_boxed_slice()
+        }
+    }
+}
+
+/// Return a page buffer to `pool` for reuse.
+pub(crate) fn pool_recycle(pool: &mut Vec<Box<[u8]>>, cap: usize, buf: Box<[u8]>) {
+    if pool.len() < cap {
+        pool.push(buf);
+    }
+}
+
+/// Page/twin/diff state: one node's local memory.
+pub(crate) struct DataPlane {
+    pub(crate) pages: HashMap<PageId, PageMeta>,
+    /// Diff cache: local creations and remote fetches, never evicted
+    /// (garbage collection is out of scope, see DESIGN.md). One record can
+    /// be keyed under several intervals it covers.
+    pub(crate) diffs: HashMap<(PageId, NodeId, u32), DiffEntry>,
+    /// Pages with a twin (writes not yet diffed).
+    pub(crate) dirty_pages: Vec<PageId>,
+    /// Recycled page-sized buffers for twins: every write fault needs a
+    /// page copy, and the steady state of a fault-heavy run would
+    /// otherwise allocate and free one page per fault. Buffers return
+    /// here when a twin is consumed by diff creation or dropped at
+    /// replicated-section exit. Capped at `twin_pool_cap`.
+    pub(crate) twin_pool: Vec<Box<[u8]>>,
+    /// Pool cap: the shared-segment page count once the cluster calls
+    /// [`NodeState::size_twin_pool`], [`TWIN_POOL_DEFAULT_CAP`] otherwise.
+    pub(crate) twin_pool_cap: usize,
+    /// Protection generation counter: bumped at every protection
+    /// *revocation* or out-of-band content change that could make a cached
+    /// translation stale — interval close, invalidation by write notice,
+    /// §5.3 write-protect at replicated-section entry/exit, diff
+    /// application, page broadcast. Permission *grants* (a write fault
+    /// enabling writing) do not bump: a stale read-only entry is merely
+    /// conservative (write lookups miss and take the slow path), and the
+    /// counter is node-global, so bumping on every fault would flush the
+    /// whole TLB each time a page is first written in an interval.
+    /// The application process's software TLB validates entries against it
+    /// with one relaxed load, so TLB hits skip the mutex and page walk.
+    /// Shared (`Arc`) because the handler process mutates protections while
+    /// the TLB lives with the application process.
+    pub(crate) prot_gen: Arc<AtomicU64>,
+    /// Initial page images (shared, written before the run starts).
+    pub(crate) initial: Arc<HashMap<PageId, Arc<[u8]>>>,
+}
+
+impl DataPlane {
+    pub(crate) fn new(initial: Arc<HashMap<PageId, Arc<[u8]>>>) -> DataPlane {
+        DataPlane {
+            pages: HashMap::new(),
+            diffs: HashMap::new(),
+            dirty_pages: Vec::new(),
+            twin_pool: Vec::new(),
+            twin_pool_cap: TWIN_POOL_DEFAULT_CAP,
+            prot_gen: Arc::new(AtomicU64::new(0)),
+            initial,
+        }
+    }
+}
+
+use crate::state::NodeState;
+
+impl NodeState {
+    /// The page contents, materialized from the initial image on first
+    /// touch.
+    pub fn page_data(&mut self, p: PageId) -> &mut [u8] {
+        let ps = self.cfg.page_size;
+        let initial = Arc::clone(&self.data.initial);
+        let n = self.n;
+        let page = self.data.pages.entry(p).or_insert_with(|| PageMeta::new(n));
+        page.materialize(ps, initial.get(&p))
+    }
+
+    /// A shared handle to the page contents (materialized on first touch),
+    /// for the software TLB and the page guards.
+    pub(crate) fn page_buf(&mut self, p: PageId) -> PageBuf {
+        let ps = self.cfg.page_size;
+        let initial = Arc::clone(&self.data.initial);
+        let n = self.n;
+        let page = self.data.pages.entry(p).or_insert_with(|| PageMeta::new(n));
+        page.buf(ps, initial.get(&p)).clone()
+    }
+
+    /// The current protection generation — the counter every protection or
+    /// content change bumps so software-TLB entries can detect staleness.
+    pub fn prot_gen(&self) -> u64 {
+        self.data.prot_gen.load(Ordering::Relaxed)
+    }
+
+    /// The shared protection-generation counter itself, for wiring the
+    /// application process's software TLB.
+    pub(crate) fn prot_gen_arc(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.data.prot_gen)
+    }
+
+    /// Advance the protection generation, invalidating every software-TLB
+    /// entry of this node. Called by every method that changes a page's
+    /// protection or replaces/mutates its contents outside the TLB's view.
+    /// The test-only `tlb_break_generation_bumps` config flag turns this
+    /// into a no-op so the coherence oracle can be shown to catch the
+    /// resulting stale translations.
+    #[inline]
+    pub(crate) fn bump_prot_gen(&self) {
+        if self.cfg.tlb_break_generation_bumps {
+            return;
+        }
+        self.data.prot_gen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Size the twin pool for a shared segment of `seg_pages` pages: a
+    /// segment-wide fault burst (one twin per page) must recycle rather
+    /// than allocate, so the cap tracks the segment size, and the pool is
+    /// prewarmed so even the first burst hits.
+    pub fn size_twin_pool(&mut self, seg_pages: usize) {
+        self.data.twin_pool_cap = seg_pages.max(TWIN_POOL_DEFAULT_CAP);
+        let warm = seg_pages.min(TWIN_POOL_PREWARM_MAX);
+        let ps = self.cfg.page_size;
+        while self.data.twin_pool.len() < warm {
+            self.data.twin_pool.push(vec![0u8; ps].into_boxed_slice());
+        }
+    }
+
+    /// This node's view of page `p`, created on demand.
+    pub fn page_mut(&mut self, p: PageId) -> &mut PageMeta {
+        let n = self.n;
+        self.data.pages.entry(p).or_insert_with(|| PageMeta::new(n))
+    }
+
+    /// Create the diff for a twinned page (lazy diff creation, §5.1).
+    /// Returns the modeled cost. Afterwards the page is clean: no twin,
+    /// write-protected, out of the dirty set.
+    pub(crate) fn create_own_diff(&mut self, p: PageId) -> Dur {
+        let node = self.node;
+        let mut cost = self.cfg.diff_create_cost();
+        let page = self.data.pages.get_mut(&p).expect("diffing unknown page");
+        let mut twin = page.twin.take().expect("diffing a page without a twin");
+        let data = page.data.as_ref().expect("twinned page must be materialized").slice();
+        let timer = host::start();
+        let diff = Diff::create(&twin, data);
+        host::record_diff_create(timer, 2 * data.len() as u64);
+        let ivxs = std::mem::take(&mut page.own_undiffed);
+        let written_cur = page.written_cur;
+        page.rse_protected = false;
+        if written_cur {
+            // The diff was requested mid-interval: it already contains the
+            // current interval's writes so far, but that interval's write
+            // notice does not exist yet. Re-twin immediately so the rest of
+            // the current interval stays separable — reusing the buffer of
+            // the twin just consumed instead of cloning the page.
+            cost += self.cfg.twin_cost();
+            let page = self.data.pages.get_mut(&p).unwrap();
+            twin.copy_from_slice(page.data.as_ref().unwrap().slice());
+            page.twin = Some(twin);
+            // stays writable and in the dirty set
+        } else {
+            pool_recycle(&mut self.data.twin_pool, self.data.twin_pool_cap, twin);
+            let page = self.data.pages.get_mut(&p).unwrap();
+            page.writable = false;
+            self.data.dirty_pages.retain(|&q| q != p);
+            self.bump_prot_gen(); // write permission revoked
+        }
+        let record = Arc::new(DiffRecord { owner: node, covers: ivxs.clone(), diff });
+        for ivx in ivxs {
+            self.data.diffs.insert((p, node, ivx), Arc::clone(&record));
+        }
+        cost
+    }
+
+    /// Handle a write fault on a *valid* page: create the twin if the page
+    /// has none (and, during a replicated section, the §5.3 pre-section
+    /// diff first). A page re-protected at an interval close keeps its
+    /// twin; the fault only re-enables writing and records the page in the
+    /// new interval's write set. Returns the cost to charge.
+    pub fn write_fault(&mut self, p: PageId) -> Dur {
+        let mut cost = self.cfg.fault_overhead;
+        let in_rse = self.rse.active;
+        let rse_protected = self.data.pages.get(&p).map(|pg| pg.rse_protected).unwrap_or(false);
+        if in_rse && rse_protected {
+            // First write to a dirty page inside a replicated section:
+            // create the pre-section diff before the page may change
+            // (§5.3), then fall through to re-twin.
+            cost += self.create_own_diff(p);
+        }
+        let need_twin = self.data.pages.get(&p).map(|pg| pg.twin.is_none()).unwrap_or(true);
+        if need_twin {
+            cost += self.cfg.twin_cost();
+            self.page_data(p); // materialize before twinning
+            let page = self.data.pages.get_mut(&p).unwrap();
+            debug_assert!(page.valid, "write fault on an invalid page");
+            let twin = pool_take(&mut self.data.twin_pool, page.data.as_ref().unwrap().slice());
+            page.twin = Some(twin);
+            if !in_rse {
+                self.data.dirty_pages.push(p);
+            }
+        }
+        let page = self.data.pages.get_mut(&p).unwrap();
+        page.writable = true;
+        if in_rse {
+            if !page.rse_dirty {
+                page.rse_dirty = true;
+                self.rse.dirty.push(p);
+            }
+        } else if !page.written_cur {
+            page.written_cur = true;
+            self.con.cur_writes.push(p);
+        }
+        cost
+    }
+
+    /// The write notices this node's copy of `p` is missing.
+    pub(crate) fn needed_notices(&mut self, p: PageId) -> Vec<(NodeId, u32)> {
+        self.page_mut(p).missing_notices()
+    }
+
+    /// Group the needed notices that are not already in the diff cache by
+    /// owner: the requests an ordinary page fault sends (in parallel, to
+    /// each last writer).
+    pub(crate) fn fetch_plan(&mut self, p: PageId) -> HashMap<NodeId, Vec<u32>> {
+        let needed = self.needed_notices(p);
+        let mut plan: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (owner, ivx) in needed {
+            if !self.data.diffs.contains_key(&(p, owner, ivx)) {
+                plan.entry(owner).or_default().push(ivx);
+            }
+        }
+        plan
+    }
+
+    /// Apply every cached missing diff to the local copy of `p` in a legal
+    /// order and mark the page valid. All needed diffs must be cached.
+    /// Returns the modeled cost.
+    pub(crate) fn apply_cached_diffs(&mut self, p: PageId) -> Dur {
+        let needed = self.needed_notices(p);
+        // Collect the distinct records behind the needed notices.
+        let mut records: Vec<(u64, DiffEntry)> = Vec::new();
+        for &(owner, ivx) in &needed {
+            let rec = self
+                .data
+                .diffs
+                .get(&(p, owner, ivx))
+                .unwrap_or_else(|| panic!("diff ({p},{owner},{ivx}) not cached"))
+                .clone();
+            if records.iter().any(|(_, r)| Arc::ptr_eq(r, &rec)) {
+                continue;
+            }
+            // Sort key: the vector time of the *earliest* covered interval,
+            // in a linear extension of happened-before (dominated
+            // timestamps have strictly smaller weights). The earliest
+            // interval is the right anchor for a merged record: a remote
+            // write notice that intervened after one of the covered
+            // intervals would have invalidated the writer's page and cut
+            // the merge there, so every other diff either precedes the
+            // earliest covered interval (and must apply before this record)
+            // or is concurrent with all covered intervals (and, in a
+            // race-free program, byte-disjoint).
+            let key_ivx = rec.covers[0];
+            debug_assert!(key_ivx <= self.con.intervals.known(owner));
+            let weight = self.con.intervals.get(owner, key_ivx).vc.weight();
+            records.push((weight, rec));
+        }
+        records
+            .sort_by(|a, b| (a.0, a.1.owner, a.1.covers[0]).cmp(&(b.0, b.1.owner, b.1.covers[0])));
+        let mut cost = Dur::ZERO;
+        let node = self.node;
+        let page_size = self.cfg.page_size;
+        let initial = Arc::clone(&self.data.initial);
+        let page = self.page_mut(p);
+        let data = page.materialize(page_size, initial.get(&p));
+        let payload: u64 = records.iter().map(|(_, rec)| rec.diff.payload_bytes()).sum();
+        // One fused pass over the page instead of one pass per record;
+        // the modeled cost still charges every record's full payload, as
+        // a real DSM would copy it.
+        let timer = host::start();
+        let applied = Diff::apply_fused(records.iter().map(|(_, rec)| &rec.diff), data);
+        host::record_diff_apply(timer, payload);
+        if let Err(e) = applied {
+            // A run outside the page means a corrupted or mis-sized diff.
+            // The in-bounds runs were applied; keep the node running on
+            // its best-effort copy rather than tearing the cluster down.
+            eprintln!("node {node}: page {p}: {e}");
+        }
+        cost += self.cfg.diff_apply_cost(payload);
+        // The copy now reflects everything we know — plus every interval
+        // the applied diffs cover, even if we have not yet seen those
+        // intervals' records. Recording the full coverage is what prevents
+        // the same bytes from being re-applied later under a different
+        // interval tag, over newer local writes.
+        let mut valid_at = self.con.vc.clone();
+        for (_, rec) in &records {
+            let o = rec.owner;
+            valid_at.set(o, valid_at.get(o).max(rec.max_ivx()));
+        }
+        let page = self.data.pages.get_mut(&p).unwrap();
+        page.valid = true;
+        page.valid_at = valid_at;
+        self.rse.valid_changed.insert(p);
+        // The handler may have applied these diffs while the application
+        // process was blocked elsewhere: its TLB must re-check validity.
+        self.bump_prot_gen();
+        cost
+    }
+
+    /// Serve a diff request for intervals `ivxs` of this node on page `p`:
+    /// create the diff lazily if needed and return the entries. This is the
+    /// §5.3-critical path: during a replicated section the twin still holds
+    /// the pre-section base, so the diff created here contains only
+    /// pre-section modifications.
+    pub(crate) fn serve_diff_request(&mut self, p: PageId, ivxs: &[u32]) -> (Dur, Vec<DiffEntry>) {
+        let node = self.node;
+        let mut cost = Dur::ZERO;
+        let mut out: Vec<DiffEntry> = Vec::new();
+        for &ivx in ivxs {
+            if !self.data.diffs.contains_key(&(p, node, ivx)) {
+                // Lazy creation: must still have the twin.
+                let page = self.data.pages.get(&p);
+                assert!(
+                    page.map(|pg| pg.twin.is_some()).unwrap_or(false),
+                    "node {node}: diff ({p},{ivx}) requested but neither cached nor creatable"
+                );
+                cost += self.create_own_diff(p);
+            }
+            let rec = self.data.diffs.get(&(p, node, ivx)).unwrap().clone();
+            if !out.iter().any(|r| Arc::ptr_eq(r, &rec)) {
+                out.push(rec);
+            }
+        }
+        (cost, out)
+    }
+
+    /// Record fetched diffs in the cache, keyed under every interval each
+    /// record covers.
+    pub(crate) fn cache_diffs(&mut self, p: PageId, entries: &[DiffEntry]) {
+        for rec in entries {
+            for &ivx in &rec.covers {
+                self.data.diffs.entry((p, rec.owner, ivx)).or_insert_with(|| Arc::clone(rec));
+            }
+        }
+    }
+
+    /// True if every needed diff for `p` is cached (the page can be made
+    /// valid locally).
+    pub(crate) fn can_complete(&mut self, p: PageId) -> bool {
+        let needed = self.needed_notices(p);
+        needed.iter().all(|&(owner, ivx)| self.data.diffs.contains_key(&(p, owner, ivx)))
+    }
+
+    /// The bytes of page `p` as a local read would see them, or `None` if
+    /// the local copy is invalid. Read-only: unlike `page_data`, an
+    /// untouched page is *not* materialized into the page table — the lazy
+    /// initial image is copied out instead — so inspection never perturbs
+    /// protocol state.
+    pub fn inspect_page(&self, p: PageId) -> Option<Vec<u8>> {
+        match self.data.pages.get(&p) {
+            Some(pg) if !pg.valid => None,
+            Some(pg) => Some(match &pg.data {
+                Some(d) => d.slice().to_vec(),
+                None => self.initial_image(p),
+            }),
+            None => Some(self.initial_image(p)),
+        }
+    }
+
+    fn initial_image(&self, p: PageId) -> Vec<u8> {
+        match self.data.initial.get(&p) {
+            Some(img) => img.to_vec(),
+            None => vec![0u8; self.cfg.page_size],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DsmConfig;
+    use crate::interval::IntervalRecord;
+    use crate::state::testutil::{fake_write, state};
+    use crate::vc::Vc;
+
+    #[test]
+    fn own_diff_covers_all_undiffed_intervals() {
+        let mut st = state(0, 2);
+        fake_write(&mut st, 3, 0, 1);
+        st.close_interval();
+        // Page stays dirty; second interval re-notices it.
+        fake_write(&mut st, 3, 1, 2);
+        st.close_interval();
+        assert_eq!(st.page_mut(3).own_undiffed, vec![1, 2]);
+        st.create_own_diff(3);
+        assert!(st.data.diffs.contains_key(&(3, 0, 1)));
+        assert!(st.data.diffs.contains_key(&(3, 0, 2)));
+        assert!(Arc::ptr_eq(&st.data.diffs[&(3, 0, 1)], &st.data.diffs[&(3, 0, 2)]));
+        let page = st.page_mut(3);
+        assert!(page.twin.is_none() && !page.writable);
+        assert!(st.data.dirty_pages.is_empty());
+    }
+
+    #[test]
+    fn fetch_plan_groups_missing_by_owner() {
+        let mut st = state(2, 3);
+        for (owner, ivx) in [(0u32, 1u32), (0, 2), (1, 1)] {
+            let mut vcfix = Vc::zero(3);
+            vcfix.set(owner as usize, ivx);
+            let rec =
+                IntervalRecord { owner: owner as usize, ivx, vc: vcfix.clone(), pages: vec![9] };
+            st.apply_records(vec![rec], &vcfix);
+        }
+        // Cache one of them: plan must exclude it.
+        st.data.diffs.insert(
+            (9, 0, 1),
+            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::default() }),
+        );
+        let plan = st.fetch_plan(9);
+        assert_eq!(plan[&0], vec![2]);
+        assert_eq!(plan[&1], vec![1]);
+    }
+
+    #[test]
+    fn apply_cached_diffs_orders_by_happened_before() {
+        let ps = DsmConfig::default().page_size;
+        // Node 0 writes byte 0 = 1 in interval 1, then (after node 1 saw
+        // it) node 1 writes byte 0 = 2 in its interval 1. Node 2 must end
+        // with 2.
+        let mut st = state(2, 3);
+        let mut vc01 = Vc::zero(3);
+        vc01.set(0, 1);
+        let mut vc11 = vc01.clone();
+        vc11.set(1, 1); // node 1's interval knows node 0's
+        let r0 = IntervalRecord { owner: 0, ivx: 1, vc: vc01.clone(), pages: vec![4] };
+        let r1 = IntervalRecord { owner: 1, ivx: 1, vc: vc11.clone(), pages: vec![4] };
+        st.apply_records(vec![r0, r1], &vc11);
+        // Diffs: node 0 wrote 1, node 1 wrote 2 at the same offset.
+        let base = vec![0u8; ps];
+        let mut a = base.clone();
+        a[0] = 1;
+        let mut b = base.clone();
+        b[0] = 2;
+        st.data.diffs.insert(
+            (4, 0, 1),
+            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::create(&base, &a) }),
+        );
+        st.data.diffs.insert(
+            (4, 1, 1),
+            Arc::new(DiffRecord { owner: 1, covers: vec![1], diff: Diff::create(&a, &b) }),
+        );
+        assert!(st.can_complete(4));
+        st.apply_cached_diffs(4);
+        let page = st.page_mut(4);
+        assert!(page.valid);
+        assert_eq!(page.data.as_ref().unwrap().slice()[0], 2);
+    }
+
+    #[test]
+    fn serve_diff_request_creates_lazily() {
+        let mut st = state(0, 2);
+        fake_write(&mut st, 5, 8, 77);
+        st.close_interval();
+        let (cost, entries) = st.serve_diff_request(5, &[1]);
+        assert!(cost > Dur::ZERO);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].owner, 0);
+        assert_eq!(entries[0].covers, vec![1]);
+        assert_eq!(entries[0].diff.payload_bytes(), 1);
+        // Second request hits the cache: free.
+        let (cost2, entries2) = st.serve_diff_request(5, &[1]);
+        assert_eq!(cost2, Dur::ZERO);
+        assert_eq!(entries2.len(), 1);
+    }
+
+    #[test]
+    fn mid_interval_serve_retwins_written_page() {
+        // A diff requested while the page is being written in the current
+        // interval: the diff covers the closed intervals, and the page is
+        // immediately re-twinned so the open interval stays separable.
+        let mut st = state(0, 2);
+        fake_write(&mut st, 6, 0, 1);
+        st.close_interval();
+        fake_write(&mut st, 6, 1, 2); // open interval write
+        let (_, entries) = st.serve_diff_request(6, &[1]);
+        assert_eq!(entries.len(), 1);
+        let page = st.page_mut(6);
+        assert!(page.twin.is_some(), "re-twinned");
+        assert!(page.writable, "still writable mid-interval");
+        // Closing the open interval must still produce a servable diff.
+        st.close_interval();
+        let (_, entries) = st.serve_diff_request(6, &[2]);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].covers, vec![2]);
+    }
+}

@@ -1,0 +1,345 @@
+//! The execution layer: fork/join plumbing (Tmk_fork / Tmk_join), the
+//! slave scheduler loop, parallel sections, and the hand-inserted page
+//! broadcast used by the `MasterOnlyBroadcast` ablation and the
+//! `MasterPush` strategy.
+
+use std::sync::Arc;
+
+use repseq_sim::{Dur, Stopped};
+use repseq_stats::MsgClass;
+
+use crate::interval::{IntervalRecord, PageId};
+use crate::msg::{DsmMsg, TaskPayload};
+use crate::race::SyncEdge;
+use crate::runtime::DsmNode;
+use crate::vc::Vc;
+
+/// Fork/join bookkeeping (master side, plus what each node knows the
+/// master knows).
+pub(crate) struct ExecState {
+    /// Master: last known vector time of each node, from joins.
+    pub(crate) peer_vcs: Vec<Vc>,
+    /// What the master/barrier manager is known to know (from the last
+    /// fork or barrier departure); arrivals and joins send only records
+    /// beyond this.
+    pub(crate) master_known: Vc,
+    /// Joins that arrived while the master was blocked on something else
+    /// (e.g. its own page fault); consumed by `wait_joins`.
+    pub(crate) pending_joins: Vec<(usize, Vc, Vec<IntervalRecord>)>,
+    /// SeqDone signals that arrived early, likewise.
+    pub(crate) pending_seqdone: usize,
+}
+
+impl ExecState {
+    pub(crate) fn new(n: usize) -> ExecState {
+        ExecState {
+            peer_vcs: vec![Vc::zero(n); n],
+            master_known: Vc::zero(n),
+            pending_joins: Vec::new(),
+            pending_seqdone: 0,
+        }
+    }
+}
+
+/// What a parked slave observed (see [`DsmNode::wait_fork`]).
+pub enum ParkEvent {
+    /// A fork: run this task. `replicated` marks a replicated sequential
+    /// section.
+    Task { task: TaskPayload, replicated: bool },
+}
+
+/// A task function shipped at a fork — the analogue of the
+/// compiler-generated parallel-region subroutine whose pointer TreadMarks
+/// passes to the slaves (§2.3).
+pub type TaskFn = dyn Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync;
+
+/// The canonical fork payload used by [`DsmNode::slave_loop`] and the
+/// runtime layer.
+pub enum Task {
+    /// Execute this function.
+    Run(Arc<TaskFn>),
+    /// Terminate the slave's scheduler loop (end of program).
+    Shutdown,
+}
+
+impl Task {
+    /// Wrap a function as a fork payload.
+    pub fn run(f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static) -> TaskPayload {
+        Arc::new(Task::Run(Arc::new(f)))
+    }
+
+    /// The shutdown payload.
+    pub fn shutdown() -> TaskPayload {
+        Arc::new(Task::Shutdown)
+    }
+}
+
+impl DsmNode {
+    /// Absorb messages that can legally arrive while an application process
+    /// is blocked on something else: early joins and SeqDone signals from
+    /// fast slaves (buffered for `wait_joins` / `end_replicated_master`)
+    /// and stale page wakeups. Returns true if the message was absorbed.
+    pub(crate) fn absorb_stray(&self, msg: DsmMsg) -> bool {
+        match msg {
+            DsmMsg::Join { from, vc, records } => {
+                self.st.lock().exec.pending_joins.push((from, vc, records));
+                true
+            }
+            DsmMsg::SeqDone { .. } => {
+                self.st.lock().exec.pending_seqdone += 1;
+                true
+            }
+            DsmMsg::WakePage { .. } => true,
+            // A duplicate reply from the resend layer whose original won
+            // the race: only fetch loops consume replies (matched by
+            // req_id), so outside one a reply is always stale.
+            DsmMsg::DiffReply { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Master: fork `task` to every slave, shipping each the interval
+    /// records it lacks. `replicated` marks a replicated sequential section
+    /// (the slaves will run the task with replication semantics).
+    pub fn fork_slaves(&self, task: TaskPayload, replicated: bool) -> Result<(), Stopped> {
+        assert!(self.is_master(), "only the master forks");
+        let n = self.topo.n;
+        self.race_sync(SyncEdge::ForkSend);
+        self.st.lock().close_interval();
+        for s in 1..n {
+            let msg = {
+                let mut st = self.st.lock();
+                let records = st.con.intervals.records_unknown_to(&st.exec.peer_vcs[s]);
+                let vc = st.con.vc.clone();
+                st.exec.peer_vcs[s] = vc.clone();
+                DsmMsg::Fork { records, vc, task: Arc::clone(&task), replicated }
+            };
+            let size = msg.wire_size();
+            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::Sync, size, msg);
+        }
+        self.ctx.charge(self.sync_cost());
+        Ok(())
+    }
+
+    /// Slave: park until the master forks a task. Valid-notice requests and
+    /// tables (the exchange preceding a replicated section) are answered
+    /// transparently while parked.
+    pub fn wait_fork(&self) -> Result<ParkEvent, Stopped> {
+        let node = self.node();
+        loop {
+            let env = self.ctx.recv()?;
+            match env.msg {
+                DsmMsg::Fork { records, vc, task, replicated } => {
+                    let cost = {
+                        let mut st = self.st.lock();
+                        let c = st.apply_records(records, &vc);
+                        st.exec.master_known = vc;
+                        c
+                    };
+                    self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::ForkRecv);
+                    return Ok(ParkEvent::Task { task, replicated });
+                }
+                DsmMsg::ValidNoticeRequest { reply_to } => {
+                    let msg = {
+                        let mut st = self.st.lock();
+                        DsmMsg::ValidNoticeReply { from: node, delta: st.take_valid_delta() }
+                    };
+                    let size = msg.wire_size();
+                    self.ctx.charge(self.sync_cost());
+                    self.nic.unicast(&self.ctx, 0, reply_to, MsgClass::ValidNotice, size, msg);
+                }
+                DsmMsg::ValidNoticeTable { deltas } => {
+                    self.st.lock().merge_valid_deltas(&deltas);
+                    self.ctx.charge(self.sync_cost());
+                }
+                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
+                other => panic!("node {node}: unexpected {} while parked", other.kind()),
+            }
+        }
+    }
+
+    /// Slave: signal completion of the forked task to the master, shipping
+    /// the interval records the master lacks.
+    pub fn join_master(&self) -> Result<(), Stopped> {
+        assert!(!self.is_master());
+        let node = self.node();
+        self.race_sync(SyncEdge::JoinSend);
+        let msg = {
+            let mut st = self.st.lock();
+            st.close_interval();
+            let records = st.con.intervals.records_unknown_to(&st.exec.master_known);
+            DsmMsg::Join { from: node, vc: st.con.vc.clone(), records }
+        };
+        self.ctx.charge(self.sync_cost());
+        let size = msg.wire_size();
+        self.nic.unicast(&self.ctx, 0, self.topo.app_pids[0], MsgClass::Sync, size, msg);
+        Ok(())
+    }
+
+    /// Master: wait for every slave's join and merge their consistency
+    /// information. Joins that arrived while the master was blocked
+    /// elsewhere (buffered by `absorb_stray`) are consumed first.
+    pub fn wait_joins(&self) -> Result<(), Stopped> {
+        assert!(self.is_master());
+        let mut pending = self.topo.n - 1;
+        {
+            let mut st = self.st.lock();
+            st.close_interval();
+            let buffered = std::mem::take(&mut st.exec.pending_joins);
+            drop(st);
+            for (from, vc, records) in buffered {
+                let cost = {
+                    let mut st = self.st.lock();
+                    let c = st.apply_records(records, &vc);
+                    st.exec.peer_vcs[from] = vc;
+                    c
+                };
+                self.ctx.charge(cost + self.sync_cost());
+                self.race_sync(SyncEdge::JoinRecv { from });
+                pending -= 1;
+            }
+        }
+        while pending > 0 {
+            let env = self.ctx.recv()?;
+            match env.msg {
+                DsmMsg::Join { from, vc, records } => {
+                    let cost = {
+                        let mut st = self.st.lock();
+                        let c = st.apply_records(records, &vc);
+                        st.exec.peer_vcs[from] = vc;
+                        c
+                    };
+                    self.ctx.charge(cost + self.sync_cost());
+                    self.race_sync(SyncEdge::JoinRecv { from });
+                    pending -= 1;
+                }
+                DsmMsg::WakePage { .. } => {}
+                other => panic!("master: unexpected {} while joining", other.kind()),
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn sync_cost(&self) -> Dur {
+        self.st.lock().cfg.sync_overhead
+    }
+
+    // ---------------------------------------------------------------
+    // High-level Tmk-style section helpers
+    // ---------------------------------------------------------------
+
+    /// Slave scheduler loop: park, run forked tasks (replicated sections
+    /// with replication semantics), join, repeat — until the master ships
+    /// [`Task::Shutdown`]. This is the whole life of a TreadMarks slave
+    /// (§2.2.1).
+    pub fn slave_loop(&self) -> Result<(), Stopped> {
+        assert!(!self.is_master());
+        loop {
+            let ParkEvent::Task { task, replicated } = self.wait_fork()?;
+            let task = task.downcast_ref::<Task>().expect("unknown fork payload type");
+            match task {
+                Task::Shutdown => return Ok(()),
+                Task::Run(f) => {
+                    if replicated {
+                        self.enter_replicated();
+                        f(self)?;
+                        self.end_replicated_slave()?;
+                    } else {
+                        f(self)?;
+                        self.join_master()?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Master: run `f` as a parallel section on every node (fork, execute
+    /// the master's share, join).
+    pub fn run_parallel(
+        &self,
+        f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static,
+    ) -> Result<(), Stopped> {
+        assert!(self.is_master());
+        let task = Task::run(f);
+        let body = match task.downcast_ref::<Task>().unwrap() {
+            Task::Run(f) => Arc::clone(f),
+            Task::Shutdown => unreachable!(),
+        };
+        self.fork_slaves(task, false)?;
+        body(self)?;
+        self.wait_joins()
+    }
+
+    /// Master: terminate every slave's scheduler loop (end of program).
+    pub fn shutdown_slaves(&self) -> Result<(), Stopped> {
+        self.fork_slaves(Task::shutdown(), false)
+    }
+
+    /// Master: multicast the current contents of `pages` to every node (the
+    /// hand-inserted broadcast of §6.1.2 — used to isolate contention
+    /// elimination from the benefit of replicating the sequential
+    /// computation). Closes the current interval first so receivers' copies
+    /// cover the just-finished sequential section's write notices and are
+    /// not re-invalidated at the following fork.
+    pub fn broadcast_pages(&self, pages: impl IntoIterator<Item = PageId>) -> Result<(), Stopped> {
+        assert!(self.is_master(), "only the master broadcasts");
+        self.st.lock().close_interval();
+        let mut last_delivery = self.ctx.now();
+        let mut sent = 0u64;
+        for p in pages {
+            let msg = {
+                let mut st = self.st.lock();
+                // Only pages we hold a complete, valid copy of are worth
+                // broadcasting (the tree pages after a sequential build).
+                let valid = st.page_mut(p).valid;
+                if !valid {
+                    continue;
+                }
+                // The broadcast re-baselines every receiver's copy at the
+                // just-closed interval, so our lazy-diff baseline must move
+                // there too: flush any still-twinned writes into their diff
+                // now. Otherwise a later diff would be taken against the
+                // pre-broadcast twin, and bytes that happen to match that
+                // older baseline would be omitted — wrong for a receiver
+                // whose base is the broadcast image, not the twin.
+                if st.page_mut(p).twin.is_some() {
+                    let cost = st.create_own_diff(p);
+                    drop(st);
+                    self.ctx.charge(cost);
+                    st = self.st.lock();
+                }
+                let data: Arc<[u8]> = st.page_data(p).to_vec().into();
+                DsmMsg::PageBroadcast { page: p, data, vc: st.con.vc.clone() }
+            };
+            let size = msg.wire_size();
+            let dsts: Vec<_> = self
+                .topo
+                .all_handlers()
+                .into_iter()
+                .filter(|&(node, _)| node != self.node())
+                .collect();
+            let at = self.nic.multicast(&self.ctx, &dsts, MsgClass::Broadcast, size, msg);
+            last_delivery = last_delivery.max(at);
+            sent += 1;
+        }
+        // Block until the broadcast has drained (the hub and the switch
+        // are independent media; without this the following fork's records
+        // would overtake the data and re-invalidate it at the receivers).
+        let service = self.st.lock().cfg.service_overhead;
+        let resume_at = last_delivery + service * (sent + 1);
+        let now = self.ctx.now();
+        if resume_at > now {
+            self.ctx.sleep(resume_at - now)?;
+        }
+        Ok(())
+    }
+
+    /// The page span of an address range (helper for `broadcast_pages`).
+    pub fn pages_of_range(&self, start_addr: u64, bytes: u64) -> std::ops::RangeInclusive<PageId> {
+        let ps = self.page_size as u64;
+        let first = (start_addr / ps) as PageId;
+        let last = ((start_addr + bytes.max(1) - 1) / ps) as PageId;
+        first..=last
+    }
+}

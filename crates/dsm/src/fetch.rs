@@ -1,0 +1,284 @@
+//! The fetch layer: demand diff fetching with the request/reply protocol
+//! and the shared timeout/resend machinery.
+//!
+//! Both fetch paths — the ordinary parallel-section fetch below and the
+//! replicated-section fetch in [`crate::strategy::rse`] — sit on the same
+//! retry discipline: wait with the configured timeout, count a retry on
+//! every unproductive wakeup, and fail loudly with full diagnostics once
+//! the budget is exhausted (an unconverged fetch points at a protocol bug
+//! or a dead peer, not bad luck). [`RetryTimer`] is that shared
+//! discipline; [`classify_reply`] is the shared stale-reply absorption.
+
+use std::collections::HashSet;
+
+use repseq_sim::{Ctx, Dur, Envelope, Stopped};
+use repseq_stats::{MsgClass, NodeId};
+
+use crate::config::DsmConfig;
+use crate::interval::PageId;
+use crate::msg::DsmMsg;
+use crate::page::DiffEntry;
+use crate::runtime::DsmNode;
+use crate::strategy;
+
+/// Request-id state for demand fetches.
+pub(crate) struct FetchState {
+    /// Sequence numbers for demand diff requests.
+    pub(crate) next_req_id: u64,
+}
+
+impl FetchState {
+    pub(crate) fn new() -> FetchState {
+        FetchState { next_req_id: 0 }
+    }
+}
+
+impl crate::state::NodeState {
+    /// Fresh request id for demand fetches.
+    pub(crate) fn fresh_req_id(&mut self) -> u64 {
+        self.fetch.next_req_id += 1;
+        self.fetch.next_req_id
+    }
+}
+
+/// The shared timeout/retry discipline of both fetch paths. Each
+/// unproductive wait (timeout, or a wakeup that did not complete the
+/// fault) counts one retry against `max_retries`; exceeding the budget
+/// panics with the caller-supplied diagnostic, because under any
+/// survivable loss rate the expected number of retries is tiny.
+pub(crate) struct RetryTimer {
+    timeout: Dur,
+    max_retries: u32,
+    retries: u32,
+}
+
+impl RetryTimer {
+    pub(crate) fn from_cfg(cfg: &DsmConfig) -> RetryTimer {
+        RetryTimer { timeout: cfg.rse_timeout, max_retries: cfg.rse_max_retries, retries: 0 }
+    }
+
+    /// The configured wait, for callers that drive `recv_timeout` directly
+    /// (the replicated fetch re-checks completability before deciding a
+    /// timeout was unproductive).
+    pub(crate) fn timeout(&self) -> Dur {
+        self.timeout
+    }
+
+    /// Wait for the next message with the retry timeout. `None` means the
+    /// wait timed out and a retry was recorded — the caller resends;
+    /// `describe` renders the panic diagnostic if the budget is exhausted.
+    pub(crate) fn recv(
+        &mut self,
+        ctx: &Ctx<DsmMsg>,
+        describe: impl FnOnce(u32) -> String,
+    ) -> Result<Option<Envelope<DsmMsg>>, Stopped> {
+        match ctx.recv_timeout(self.timeout)? {
+            Some(env) => Ok(Some(env)),
+            None => {
+                self.note_retry(describe);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Record an unproductive round (timeout, or a wakeup after which the
+    /// fault still cannot complete) against the budget.
+    pub(crate) fn note_retry(&mut self, describe: impl FnOnce(u32) -> String) {
+        self.retries += 1;
+        if self.retries > self.max_retries {
+            panic!("{}", describe(self.max_retries));
+        }
+    }
+}
+
+/// What a message received inside a fetch loop means for that fetch.
+pub(crate) enum ReplyClass {
+    /// The reply to the outstanding request: cache these diffs.
+    Matching(Vec<DiffEntry>),
+    /// A reply to a request this fetch already gave up on (the resend
+    /// layer's duplicate whose original won the race): drop silently.
+    Stale,
+    /// Not a diff reply at all; the caller absorbs or rejects it.
+    Other(DsmMsg),
+}
+
+/// Classify a message received while a fetch for (`want_page`, `req_id`)
+/// is outstanding.
+pub(crate) fn classify_reply(msg: DsmMsg, want_page: PageId, req_id: u64) -> ReplyClass {
+    match msg {
+        DsmMsg::DiffReply { page, diffs, req_id: rid } if rid == req_id => {
+            debug_assert_eq!(page, want_page);
+            ReplyClass::Matching(diffs)
+        }
+        DsmMsg::DiffReply { .. } => ReplyClass::Stale,
+        other => ReplyClass::Other(other),
+    }
+}
+
+impl DsmNode {
+    /// Handle a read fault: fetch the missing diffs, apply them, validate.
+    /// Inside a replicated section the fault goes through the RSE multicast
+    /// protocol instead of the parallel per-owner requests.
+    pub(crate) fn read_fault(&self, p: PageId) -> Result<(), Stopped> {
+        let node = self.node();
+        self.topo.stats.on_page_fault(node);
+        self.ctx.charge(self.st.lock().cfg.fault_overhead);
+        let in_rse = self.st.lock().rse.active;
+        if in_rse {
+            strategy::rse::fetch_replicated(self, p)
+        } else {
+            self.fetch_normal(p)
+        }
+    }
+
+    /// Ordinary lazy-release-consistency fetch: request each missing diff
+    /// from its writer, in parallel (§5.4.3: "With normal sequential
+    /// execution, all missing diffs for a page are requested in parallel").
+    fn fetch_normal(&self, p: PageId) -> Result<(), Stopped> {
+        let node = self.node();
+        let t0 = self.ctx.now();
+        let mut requested = false;
+        loop {
+            // New write notices can arrive while we wait for replies (our
+            // handler keeps merging barrier/lock traffic into the shared
+            // state), so the plan is recomputed — and the final apply is
+            // atomic with the completeness check — until it converges.
+            let (plan, req_id) = {
+                let mut st = self.st.lock();
+                let plan = st.fetch_plan(p);
+                if plan.is_empty() {
+                    let cost = st.apply_cached_diffs(p);
+                    drop(st);
+                    self.ctx.charge(cost);
+                    break;
+                }
+                (plan, st.fresh_req_id())
+            };
+            requested = true;
+            let mut owners: Vec<NodeId> = plan.keys().copied().collect();
+            owners.sort_unstable();
+            let mut outstanding: HashSet<NodeId> = HashSet::new();
+            for &owner in &owners {
+                let ivxs = plan[&owner].clone();
+                debug_assert_ne!(owner, node, "own diffs are always cached");
+                let msg = DsmMsg::DiffRequest { page: p, ivxs, reply_to: self.ctx.pid(), req_id };
+                let size = msg.wire_size();
+                self.nic.unicast(
+                    &self.ctx,
+                    owner,
+                    self.topo.handler_pids[owner],
+                    MsgClass::DiffRequest,
+                    size,
+                    msg,
+                );
+                outstanding.insert(owner);
+            }
+            // The unicast transport is logically reliable (TreadMarks ran
+            // its own reliability layer over UDP): when loss injection is
+            // allowed to touch diff frames, that layer is this resend loop.
+            let mut timer = RetryTimer::from_cfg(&self.st.lock().cfg);
+            while !outstanding.is_empty() {
+                let env = match timer.recv(&self.ctx, |retries| {
+                    format!(
+                        "node {node}: diff fetch for page {p} incomplete after \
+                         {retries} resends (owners still outstanding: {outstanding:?})"
+                    )
+                })? {
+                    Some(env) => env,
+                    None => {
+                        for &owner in owners.iter().filter(|o| outstanding.contains(o)) {
+                            let msg = DsmMsg::DiffRequest {
+                                page: p,
+                                ivxs: plan[&owner].clone(),
+                                reply_to: self.ctx.pid(),
+                                req_id,
+                            };
+                            let size = msg.wire_size();
+                            self.nic.unicast(
+                                &self.ctx,
+                                owner,
+                                self.topo.handler_pids[owner],
+                                MsgClass::DiffRequest,
+                                size,
+                                msg,
+                            );
+                        }
+                        continue;
+                    }
+                };
+                match classify_reply(env.msg, p, req_id) {
+                    ReplyClass::Matching(diffs) => {
+                        let owner = self
+                            .topo
+                            .handler_pids
+                            .iter()
+                            .position(|&h| h == env.from)
+                            .expect("diff reply from unknown handler");
+                        let mut st = self.st.lock();
+                        st.cache_diffs(p, &diffs);
+                        outstanding.remove(&owner);
+                    }
+                    ReplyClass::Stale => { /* reply to an aborted fetch: ignore */ }
+                    ReplyClass::Other(other) => {
+                        if !self.absorb_stray(other) {
+                            panic!("node {node}: unexpected message while fetching page {p}");
+                        }
+                    }
+                }
+            }
+        }
+        if requested {
+            let waited = self.ctx.now() - t0;
+            self.topo.stats.on_diff_stall(node, waited);
+            self.topo.stats.on_diff_request_complete(node, waited);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::diff::Diff;
+    use crate::page::DiffRecord;
+
+    fn reply(page: PageId, req_id: u64) -> DsmMsg {
+        let rec = Arc::new(DiffRecord { owner: 1, covers: vec![1], diff: Diff::default() });
+        DsmMsg::DiffReply { page, diffs: vec![rec], req_id }
+    }
+
+    /// The PR-2 deadlock fix depends on resent requests reusing the same
+    /// req_id and duplicate replies being dropped: a reply carrying any
+    /// other id is stale, whatever page it names.
+    #[test]
+    fn stale_replies_are_absorbed_not_matched() {
+        // The reply to the outstanding request matches.
+        assert!(
+            matches!(classify_reply(reply(7, 3), 7, 3), ReplyClass::Matching(d) if d.len() == 1)
+        );
+        // A duplicate of an *earlier* fetch's reply (old req_id) is stale —
+        // even for the same page.
+        assert!(matches!(classify_reply(reply(7, 2), 7, 3), ReplyClass::Stale));
+        // A reply to a later, aborted fetch likewise.
+        assert!(matches!(classify_reply(reply(9, 99), 7, 3), ReplyClass::Stale));
+        // Non-reply traffic is handed back for stray absorption.
+        assert!(matches!(
+            classify_reply(DsmMsg::WakePage { page: 7 }, 7, 3),
+            ReplyClass::Other(DsmMsg::WakePage { page: 7 })
+        ));
+    }
+
+    /// The retry budget counts unproductive rounds and panics with the
+    /// caller's diagnostic once exhausted.
+    #[test]
+    #[should_panic(expected = "gave up after 2")]
+    fn retry_budget_is_enforced() {
+        let cfg = DsmConfig { rse_max_retries: 2, ..DsmConfig::default() };
+        let mut timer = RetryTimer::from_cfg(&cfg);
+        timer.note_retry(|_| unreachable!());
+        timer.note_retry(|_| unreachable!());
+        timer.note_retry(|max| format!("gave up after {max}"));
+    }
+}

@@ -16,9 +16,10 @@ use repseq_sim::{Ctx, Stopped};
 use repseq_stats::MsgClass;
 
 use crate::msg::DsmMsg;
-use crate::rse;
 use crate::runtime::Topology;
-use crate::state::{NodeState, PendingAcquire};
+use crate::state::NodeState;
+use crate::strategy::chain;
+use crate::sync::{holder_logic, LockAction};
 
 pub(crate) fn handler_main(
     ctx: Ctx<DsmMsg>,
@@ -33,7 +34,7 @@ pub(crate) fn handler_main(
         // handler arms a timeout so a lost frame cannot wedge the queue
         // forever (the requester recovers independently, §5.4.2).
         let env = {
-            let stall_guard = node == 0 && st.lock().mcast_inflight.is_some();
+            let stall_guard = node == 0 && st.lock().rse.mcast_inflight.is_some();
             if stall_guard {
                 let t = st.lock().cfg.rse_timeout * 4;
                 match ctx.recv_timeout(t)? {
@@ -41,11 +42,11 @@ pub(crate) fn handler_main(
                     None => {
                         let next = {
                             let mut s = st.lock();
-                            s.mcast_inflight = None;
-                            rse::master_try_start(&mut s)
+                            s.rse.mcast_inflight = None;
+                            chain::master_try_start(&mut s)
                         };
                         if let Some(msg) = next {
-                            rse::multicast_to_handlers(
+                            chain::multicast_to_handlers(
                                 &nic,
                                 &ctx,
                                 &topo,
@@ -85,15 +86,15 @@ pub(crate) fn handler_main(
                     ctx.charge(s.cfg.sync_overhead);
                     let cost = s.apply_records(records, &vc);
                     ctx.charge(cost);
-                    s.barrier_arrivals.push((from, vc, reply_to));
-                    if s.barrier_arrivals.len() == n {
-                        let arrivals = std::mem::take(&mut s.barrier_arrivals);
-                        let merged = s.vc.clone();
+                    s.sync.barrier_arrivals.push((from, vc, reply_to));
+                    if s.sync.barrier_arrivals.len() == n {
+                        let arrivals = std::mem::take(&mut s.sync.barrier_arrivals);
+                        let merged = s.con.vc.clone();
                         Some(
                             arrivals
                                 .into_iter()
                                 .map(|(q, vcq, pid)| {
-                                    let records = s.intervals.records_unknown_to(&vcq);
+                                    let records = s.con.intervals.records_unknown_to(&vcq);
                                     (q, pid, DsmMsg::BarrierDepart { records, vc: merged.clone() })
                                 })
                                 .collect::<Vec<_>>(),
@@ -123,14 +124,14 @@ pub(crate) fn handler_main(
                     if manager && !forwarded {
                         // Lazy token initialization: an unseen lock's token
                         // starts at its manager.
-                        let target = match s.lock_last.get(&lock) {
+                        let target = match s.sync.lock_last.get(&lock) {
                             Some(&t) => t,
                             None => {
-                                s.lock_token.insert(lock);
+                                s.sync.lock_token.insert(lock);
                                 node
                             }
                         };
-                        s.lock_last.insert(lock, from);
+                        s.sync.lock_last.insert(lock, from);
                         if target == node {
                             holder_logic(&mut s, lock, from, &vc, reply_to)
                         } else {
@@ -169,17 +170,23 @@ pub(crate) fn handler_main(
                 let fwd = {
                     let mut s = st.lock();
                     ctx.charge(s.cfg.service_overhead);
-                    rse::master_enqueue(&mut s, page, wanted, requester)
+                    chain::master_enqueue(&mut s, page, wanted, requester)
                 };
                 if let Some(msg) = fwd {
-                    rse::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::ForwardedRequest, msg);
+                    chain::multicast_to_handlers(
+                        &nic,
+                        &ctx,
+                        &topo,
+                        MsgClass::ForwardedRequest,
+                        msg,
+                    );
                 }
             }
             DsmMsg::McastForward { page, wanted, requester, req_seq } => {
                 let turn = {
                     let mut s = st.lock();
                     ctx.charge(s.cfg.service_overhead);
-                    rse::on_forward(&mut s, page, wanted, requester, req_seq)
+                    chain::on_forward(&mut s, page, wanted, requester, req_seq)
                 };
                 if let Some((msg, cost)) = turn {
                     ctx.charge(cost);
@@ -187,7 +194,7 @@ pub(crate) fn handler_main(
                         DsmMsg::McastNullAck { .. } => MsgClass::NullAck,
                         _ => MsgClass::DiffReply,
                     };
-                    rse::multicast_to_handlers(&nic, &ctx, &topo, class, msg);
+                    chain::multicast_to_handlers(&nic, &ctx, &topo, class, msg);
                 }
             }
             DsmMsg::McastDiffReply { page, diffs, turn, req_seq } => {
@@ -202,29 +209,40 @@ pub(crate) fn handler_main(
                     ctx.charge(s.cfg.service_overhead);
                     let (cost, diffs) = s.serve_diff_request(page, &ivxs);
                     (
-                        DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: rse::OOB_SEQ },
+                        DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: chain::OOB_SEQ },
                         cost,
                     )
                 };
                 ctx.charge(cost);
                 debug_assert!(reply_mcast, "recovery replies are always multicast (§5.4.2)");
-                rse::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::DiffReply, msg);
+                chain::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::DiffReply, msg);
             }
 
-            // ---- hand-inserted broadcast (ablation) ----
+            // ---- hand-inserted broadcast (ablation / MasterPush) ----
             DsmMsg::PageBroadcast { page, data, vc } => {
                 let mut s = st.lock();
                 ctx.charge(s.cfg.service_overhead);
-                if s.page_mut(page).twin.is_none() {
-                    // Safe to overwrite: we have no concurrent local writes.
-                    // Copy in place — a TLB entry or guard may alias the
-                    // buffer, and replacing it would leave them pointing at
-                    // the pre-broadcast bytes forever.
+                let meta = s.page_mut(page);
+                let fresh = !(meta.valid && vc.dominated_by(&meta.valid_at));
+                if meta.twin.is_none() && fresh {
+                    // Safe to overwrite: we have no concurrent local writes
+                    // and our copy does not already cover the broadcast
+                    // (a broadcast delayed behind other hub traffic must
+                    // not clobber a fresher demand-fetched copy). Copy in
+                    // place — a TLB entry or guard may alias the buffer,
+                    // and replacing it would leave them pointing at the
+                    // pre-broadcast bytes forever.
                     s.page_data(page).copy_from_slice(&data);
                     let meta = s.page_mut(page);
-                    meta.valid = true;
                     meta.valid_at.merge(&vc);
-                    s.valid_changed.insert(page);
+                    // The copy is valid only if it covers every write
+                    // notice known locally: a late broadcast must not
+                    // resurrect a copy that newer notices invalidated.
+                    // (Uncovered notices keep it invalid; the next access
+                    // demand-fetches exactly those diffs onto this base.)
+                    meta.valid =
+                        meta.notices.iter().all(|&(owner, ivx)| meta.valid_at.covers(owner, ivx));
+                    s.rse.valid_changed.insert(page);
                     // Content changed underneath any cached translation.
                     s.bump_prot_gen();
                 }
@@ -239,36 +257,6 @@ pub(crate) fn handler_main(
             DsmMsg::WakePage { .. } => { /* stale local wakeup */ }
             other => panic!("handler {node}: unexpected {}", other.kind()),
         }
-    }
-}
-
-enum LockAction {
-    Queued,
-    Forward(usize),
-    Grant { records: Vec<crate::interval::IntervalRecord>, vc: crate::vc::Vc },
-}
-
-/// Lock logic at the node believed to hold the token.
-fn holder_logic(
-    s: &mut NodeState,
-    lock: u32,
-    from: usize,
-    vc: &crate::vc::Vc,
-    reply_to: repseq_sim::Pid,
-) -> LockAction {
-    if s.lock_token.contains(&lock) && !s.lock_held.contains(&lock) {
-        s.lock_token.remove(&lock);
-        let records = s.intervals.records_unknown_to(vc);
-        LockAction::Grant { records, vc: s.vc.clone() }
-    } else {
-        // Held by the local application, or the token is still in flight
-        // to us: queue; the release path grants.
-        s.lock_pending.entry(lock).or_default().push_back(PendingAcquire {
-            from,
-            vc: vc.clone(),
-            reply_to,
-        });
-        LockAction::Queued
     }
 }
 
@@ -291,20 +279,20 @@ fn handle_chain_step(
         let mut s = st.lock();
         ctx.charge(s.cfg.service_overhead);
         if let Some((page, diffs)) = &diffs {
-            let (cost, w) = rse::incorporate_diffs(&mut s, *page, diffs);
+            let (cost, w) = chain::incorporate_diffs(&mut s, *page, diffs);
             ctx.charge(cost);
             wake = w;
         }
-        if req_seq != rse::OOB_SEQ {
-            let done = rse::advance_chain(&mut s, req_seq, turn);
+        if req_seq != chain::OOB_SEQ {
+            let done = chain::advance_chain(&mut s, req_seq, turn);
             if done {
                 if node == 0 {
-                    s.mcast_inflight = None;
-                    if let Some(msg) = rse::master_try_start(&mut s) {
+                    s.rse.mcast_inflight = None;
+                    if let Some(msg) = chain::master_try_start(&mut s) {
                         to_multicast = Some((msg, MsgClass::ForwardedRequest));
                     }
                 }
-            } else if let Some((msg, cost)) = rse::take_turn(&mut s, req_seq) {
+            } else if let Some((msg, cost)) = chain::take_turn(&mut s, req_seq) {
                 ctx.charge(cost);
                 let class = match &msg {
                     DsmMsg::McastNullAck { .. } => MsgClass::NullAck,
@@ -319,7 +307,7 @@ fn handle_chain_step(
             // what is still missing gets re-requested — instead of
             // sleeping out a full extra `rse_timeout`.
             if let Some((page, _)) = &diffs {
-                if s.waiting_page == Some(*page) {
+                if s.rse.waiting_page == Some(*page) {
                     wake = Some(*page);
                 }
             }
@@ -329,7 +317,7 @@ fn handle_chain_step(
         nic.local(ctx, topo.app_pids[node], DsmMsg::WakePage { page });
     }
     if let Some((msg, class)) = to_multicast {
-        rse::multicast_to_handlers(nic, ctx, topo, class, msg);
+        chain::multicast_to_handlers(nic, ctx, topo, class, msg);
     }
 }
 

@@ -15,31 +15,58 @@
 //! Applications access shared memory through typed handles backed by a
 //! software page table (see `DESIGN.md` for why this substitutes for
 //! `mprotect`/`SIGSEGV`).
+//!
+//! ## Layering
+//!
+//! The crate is organized as layers with narrow interfaces; each module
+//! owns one concern and the composite types ([`NodeState`], [`DsmNode`])
+//! stay thin:
+//!
+//! | layer | module | owns |
+//! |---|---|---|
+//! | consistency | `vc`, `interval`, `consistency` | vector clocks, intervals, write notices |
+//! | data plane | `page`, `diff`, `dataplane` | pages, twins, diff cache, twin pool, TLB revocation |
+//! | fetch | `fetch` | demand-fetch request/reply and the shared retry budget |
+//! | sync | `sync` | barrier manager, distributed locks |
+//! | exec | `exec` | fork/join, task payloads, the slave loop |
+//! | strategy | `strategy` | how sequential sections execute ([`SeqExecStrategy`]) |
+//! | runtime | `runtime`, `handler`, `cluster` | processes, NICs, the software TLB, message dispatch |
+
+// Everything not in the `pub use` façade below is crate-internal; the
+// lint keeps `pub` from silently outliving its re-export.
+#![warn(unreachable_pub)]
 
 mod cluster;
 mod config;
+mod consistency;
+mod dataplane;
 mod diff;
+mod exec;
+mod fetch;
 mod handler;
 mod interval;
 mod msg;
 mod page;
 mod pod;
 mod race;
-mod rse;
 mod runtime;
 mod shmem;
 mod state;
+mod strategy;
+mod sync;
 mod vc;
 
 pub use cluster::{AppFn, Cluster, ClusterConfig, LaunchOutcome};
-pub use config::{DsmConfig, FlowControl};
+pub use config::{DsmConfig, FlowControl, SeqExecMode};
 pub use diff::{Diff, DiffError, DiffRun};
+pub use exec::{ParkEvent, Task, TaskFn};
 pub use interval::{IntervalRecord, IntervalStore, PageId};
 pub use msg::{DsmMsg, TaskPayload};
-pub use page::{PageBuf, PageMeta};
+pub use page::{DiffEntry, PageBuf, PageMeta};
 pub use pod::Pod;
 pub use race::{AccessKind, RaceConfig, RaceSink, SyncEdge};
-pub use runtime::{DsmNode, ParkEvent, Task, TaskFn};
+pub use runtime::DsmNode;
 pub use shmem::{PageSlice, PageSliceMut, ShArray, ShVar};
-pub use state::{ChainProbe, NodeState, RseProbe};
+pub use state::NodeState;
+pub use strategy::{ChainProbe, RseProbe, SeqExecStrategy};
 pub use vc::Vc;

@@ -193,7 +193,7 @@ pub struct DiffRecord {
 
 impl DiffRecord {
     /// Highest covered interval.
-    pub fn max_ivx(&self) -> u32 {
+    pub(crate) fn max_ivx(&self) -> u32 {
         *self.covers.last().expect("a diff covers at least one interval")
     }
 }

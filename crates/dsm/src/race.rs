@@ -138,7 +138,7 @@ pub(crate) struct AccessTap {
 
 impl AccessTap {
     #[inline]
-    pub fn element(&self, k: usize, elem_size: usize, kind: AccessKind) {
+    pub(crate) fn element(&self, k: usize, elem_size: usize, kind: AccessKind) {
         self.sink.access(self.node, self.base + (k * elem_size) as u64, elem_size, kind);
     }
 }

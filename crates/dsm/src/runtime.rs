@@ -1,24 +1,26 @@
-//! The application-side runtime: typed shared-memory access with software
-//! page faults, demand diff fetching, barriers, locks, and the fork/join
-//! plumbing the OpenMP-style layer builds on.
+//! The application-side runtime core: the `DsmNode` handle, cluster
+//! topology, the software TLB, and typed shared-memory access with
+//! software page faults. The blocking protocol operations live with their
+//! layers — [`crate::fetch`] (demand fetching), [`crate::sync`]
+//! (barrier/locks), [`crate::exec`] (fork/join) and [`crate::strategy`]
+//! (sequential-section execution) — as further `impl DsmNode` blocks.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use repseq_net::Nic;
 use repseq_sim::{Ctx, Dur, Pid, Stopped};
-use repseq_stats::{host, MsgClass, NodeId, StatsRef};
+use repseq_stats::{host, NodeId, StatsRef};
 
 use crate::interval::PageId;
-use crate::msg::{DsmMsg, TaskPayload};
+use crate::msg::DsmMsg;
 use crate::page::PageBuf;
 use crate::pod::Pod;
 use crate::race::{AccessKind, AccessTap, RaceSink, SyncEdge};
-use crate::rse;
 use crate::state::NodeState;
+use crate::strategy::RseProbe;
 
 /// Software-TLB capacity. Direct-mapped on the low page bits: a working
 /// set under 64 pages (every kernel phase in the apps) never conflicts.
@@ -71,41 +73,8 @@ pub(crate) struct Topology {
 impl Topology {
     /// Destination list for a multicast to every handler (IP-multicast
     /// loopback included: the sender's own handler receives it too).
-    pub fn all_handlers(&self) -> Vec<(NodeId, Pid)> {
+    pub(crate) fn all_handlers(&self) -> Vec<(NodeId, Pid)> {
         self.handler_pids.iter().copied().enumerate().collect()
-    }
-}
-
-/// What a parked slave observed (see [`DsmNode::wait_fork`]).
-pub enum ParkEvent {
-    /// A fork: run this task. `replicated` marks a replicated sequential
-    /// section.
-    Task { task: TaskPayload, replicated: bool },
-}
-
-/// A task function shipped at a fork — the analogue of the
-/// compiler-generated parallel-region subroutine whose pointer TreadMarks
-/// passes to the slaves (§2.3).
-pub type TaskFn = dyn Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync;
-
-/// The canonical fork payload used by [`DsmNode::slave_loop`] and the
-/// runtime layer.
-pub enum Task {
-    /// Execute this function.
-    Run(Arc<TaskFn>),
-    /// Terminate the slave's scheduler loop (end of program).
-    Shutdown,
-}
-
-impl Task {
-    /// Wrap a function as a fork payload.
-    pub fn run(f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static) -> TaskPayload {
-        Arc::new(Task::Run(Arc::new(f)))
-    }
-
-    /// The shutdown payload.
-    pub fn shutdown() -> TaskPayload {
-        Arc::new(Task::Shutdown)
     }
 }
 
@@ -141,7 +110,7 @@ impl DsmNode {
         page_size: usize,
         tlb_enabled: bool,
     ) -> DsmNode {
-        let prot_gen = Arc::clone(&st.lock().prot_gen);
+        let prot_gen = st.lock().prot_gen_arc();
         let race = topo.race.clone();
         DsmNode {
             ctx,
@@ -201,7 +170,7 @@ impl DsmNode {
 
     /// Snapshot this node's replicated-section protocol state for invariant
     /// checks (see [`crate::RseProbe`]).
-    pub fn rse_probe(&self) -> crate::state::RseProbe {
+    pub fn rse_probe(&self) -> RseProbe {
         self.st.lock().rse_probe()
     }
 
@@ -466,566 +435,5 @@ impl DsmNode {
             off += chunk;
         }
         Ok(())
-    }
-
-    /// Absorb messages that can legally arrive while an application process
-    /// is blocked on something else: early joins and SeqDone signals from
-    /// fast slaves (buffered for `wait_joins` / `end_replicated_master`)
-    /// and stale page wakeups. Returns true if the message was absorbed.
-    pub(crate) fn absorb_stray(&self, msg: DsmMsg) -> bool {
-        match msg {
-            DsmMsg::Join { from, vc, records } => {
-                self.st.lock().pending_joins.push((from, vc, records));
-                true
-            }
-            DsmMsg::SeqDone { .. } => {
-                self.st.lock().pending_seqdone += 1;
-                true
-            }
-            DsmMsg::WakePage { .. } => true,
-            // A duplicate reply from the resend layer whose original won
-            // the race: only fetch loops consume replies (matched by
-            // req_id), so outside one a reply is always stale.
-            DsmMsg::DiffReply { .. } => true,
-            _ => false,
-        }
-    }
-
-    /// Handle a read fault: fetch the missing diffs, apply them, validate.
-    fn read_fault(&self, p: PageId) -> Result<(), Stopped> {
-        let node = self.node();
-        self.topo.stats.on_page_fault(node);
-        self.ctx.charge(self.st.lock().cfg.fault_overhead);
-        let in_rse = self.st.lock().in_rse;
-        if in_rse {
-            rse::fetch_replicated(self, p)
-        } else {
-            self.fetch_normal(p)
-        }
-    }
-
-    /// Ordinary lazy-release-consistency fetch: request each missing diff
-    /// from its writer, in parallel (§5.4.3: "With normal sequential
-    /// execution, all missing diffs for a page are requested in parallel").
-    fn fetch_normal(&self, p: PageId) -> Result<(), Stopped> {
-        let node = self.node();
-        let t0 = self.ctx.now();
-        let mut requested = false;
-        loop {
-            // New write notices can arrive while we wait for replies (our
-            // handler keeps merging barrier/lock traffic into the shared
-            // state), so the plan is recomputed — and the final apply is
-            // atomic with the completeness check — until it converges.
-            let (plan, req_id) = {
-                let mut st = self.st.lock();
-                let plan = st.fetch_plan(p);
-                if plan.is_empty() {
-                    let cost = st.apply_cached_diffs(p);
-                    drop(st);
-                    self.ctx.charge(cost);
-                    break;
-                }
-                (plan, st.fresh_req_id())
-            };
-            requested = true;
-            let mut owners: Vec<NodeId> = plan.keys().copied().collect();
-            owners.sort_unstable();
-            let mut outstanding: HashSet<NodeId> = HashSet::new();
-            for &owner in &owners {
-                let ivxs = plan[&owner].clone();
-                debug_assert_ne!(owner, node, "own diffs are always cached");
-                let msg = DsmMsg::DiffRequest { page: p, ivxs, reply_to: self.ctx.pid(), req_id };
-                let size = msg.wire_size();
-                self.nic.unicast(
-                    &self.ctx,
-                    owner,
-                    self.topo.handler_pids[owner],
-                    MsgClass::DiffRequest,
-                    size,
-                    msg,
-                );
-                outstanding.insert(owner);
-            }
-            // The unicast transport is logically reliable (TreadMarks ran
-            // its own reliability layer over UDP): when loss injection is
-            // allowed to touch diff frames, that layer is this resend loop.
-            let (timeout, max_retries) = {
-                let st = self.st.lock();
-                (st.cfg.rse_timeout, st.cfg.rse_max_retries)
-            };
-            let mut retries: u32 = 0;
-            while !outstanding.is_empty() {
-                let env = match self.ctx.recv_timeout(timeout)? {
-                    Some(env) => env,
-                    None => {
-                        retries += 1;
-                        assert!(
-                            retries <= max_retries,
-                            "node {node}: diff fetch for page {p} incomplete after \
-                             {retries} resends (owners still outstanding: {outstanding:?})"
-                        );
-                        for &owner in owners.iter().filter(|o| outstanding.contains(o)) {
-                            let msg = DsmMsg::DiffRequest {
-                                page: p,
-                                ivxs: plan[&owner].clone(),
-                                reply_to: self.ctx.pid(),
-                                req_id,
-                            };
-                            let size = msg.wire_size();
-                            self.nic.unicast(
-                                &self.ctx,
-                                owner,
-                                self.topo.handler_pids[owner],
-                                MsgClass::DiffRequest,
-                                size,
-                                msg,
-                            );
-                        }
-                        continue;
-                    }
-                };
-                match env.msg {
-                    DsmMsg::DiffReply { page, diffs, req_id: rid } if rid == req_id => {
-                        debug_assert_eq!(page, p);
-                        let owner = self
-                            .topo
-                            .handler_pids
-                            .iter()
-                            .position(|&h| h == env.from)
-                            .expect("diff reply from unknown handler");
-                        let mut st = self.st.lock();
-                        st.cache_diffs(p, &diffs);
-                        outstanding.remove(&owner);
-                    }
-                    DsmMsg::DiffReply { .. } => { /* reply to an aborted fetch: ignore */ }
-                    other => {
-                        if !self.absorb_stray(other) {
-                            panic!("node {node}: unexpected message while fetching page {p}");
-                        }
-                    }
-                }
-            }
-        }
-        if requested {
-            let waited = self.ctx.now() - t0;
-            self.topo.stats.on_diff_stall(node, waited);
-            self.topo.stats.on_diff_request_complete(node, waited);
-        }
-        Ok(())
-    }
-
-    // ---------------------------------------------------------------
-    // Barriers (centralized manager at node 0's handler)
-    // ---------------------------------------------------------------
-
-    /// Global barrier: a release (interval close + arrival) followed by an
-    /// acquire (departure records merged).
-    pub fn barrier(&self) -> Result<(), Stopped> {
-        let node = self.node();
-        self.race_sync(SyncEdge::BarrierArrive);
-        let msg = {
-            let mut st = self.st.lock();
-            st.close_interval();
-            let records = st.intervals.records_unknown_to(&st.master_known);
-            DsmMsg::BarrierArrive {
-                from: node,
-                vc: st.vc.clone(),
-                records,
-                reply_to: self.ctx.pid(),
-            }
-        };
-        self.ctx.charge(self.sync_cost());
-        let size = msg.wire_size();
-        if node == 0 {
-            // The manager lives on this node: no network traffic.
-            self.nic.local(&self.ctx, self.topo.handler_pids[0], msg);
-        } else {
-            self.nic.unicast(&self.ctx, 0, self.topo.handler_pids[0], MsgClass::Sync, size, msg);
-        }
-        loop {
-            let env = self.ctx.recv()?;
-            match env.msg {
-                DsmMsg::BarrierDepart { records, vc } => {
-                    let cost = {
-                        let mut st = self.st.lock();
-                        let c = st.apply_records(records, &vc);
-                        st.master_known = vc;
-                        c
-                    };
-                    self.ctx.charge(cost + self.sync_cost());
-                    self.race_sync(SyncEdge::BarrierDepart);
-                    return Ok(());
-                }
-                other => {
-                    if !self.absorb_stray(other) {
-                        panic!("node {node}: unexpected message at barrier");
-                    }
-                }
-            }
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Locks (static manager, distributed FIFO queue)
-    // ---------------------------------------------------------------
-
-    /// The node managing lock `l`.
-    fn lock_manager(&self, l: u32) -> NodeId {
-        (l as usize) % self.topo.n
-    }
-
-    /// Acquire a lock (an acquire access in release consistency).
-    pub fn lock(&self, l: u32) -> Result<(), Stopped> {
-        let node = self.node();
-        let local = {
-            let mut st = self.st.lock();
-            assert!(!st.lock_held.contains(&l), "recursive lock acquire");
-            if st.lock_token.contains(&l) {
-                // We were the last holder: re-acquire locally, no traffic,
-                // no new consistency information.
-                st.lock_held.insert(l);
-                true
-            } else {
-                false
-            }
-        };
-        if local {
-            // Still an acquire edge for the detector (it merges this
-            // node's own release clock — a no-op for the HB relation).
-            self.race_sync(SyncEdge::LockAcquire { lock: l });
-            return Ok(());
-        }
-        let msg = {
-            let st = self.st.lock();
-            DsmMsg::LockAcquire {
-                lock: l,
-                from: node,
-                vc: st.vc.clone(),
-                reply_to: self.ctx.pid(),
-                forwarded: false,
-            }
-        };
-        let mgr = self.lock_manager(l);
-        let size = msg.wire_size();
-        self.ctx.charge(self.sync_cost());
-        if mgr == node {
-            self.nic.local(&self.ctx, self.topo.handler_pids[mgr], msg);
-        } else {
-            self.nic.unicast(
-                &self.ctx,
-                mgr,
-                self.topo.handler_pids[mgr],
-                MsgClass::Lock,
-                size,
-                msg,
-            );
-        }
-        loop {
-            let env = self.ctx.recv()?;
-            match env.msg {
-                DsmMsg::LockGrant { lock, records, vc } => {
-                    debug_assert_eq!(lock, l);
-                    let cost = {
-                        let mut st = self.st.lock();
-                        let c = st.apply_records(records, &vc);
-                        st.lock_held.insert(l);
-                        st.lock_token.insert(l);
-                        c
-                    };
-                    self.ctx.charge(cost + self.sync_cost());
-                    self.race_sync(SyncEdge::LockAcquire { lock: l });
-                    return Ok(());
-                }
-                other => {
-                    if !self.absorb_stray(other) {
-                        panic!("node {node}: unexpected message while acquiring lock");
-                    }
-                }
-            }
-        }
-    }
-
-    /// Release a lock (a release access: closes the interval). If another
-    /// node's acquire is queued here, the grant — with the consistency
-    /// information the acquirer lacks — goes straight to it.
-    pub fn unlock(&self, l: u32) -> Result<(), Stopped> {
-        // The release edge must be recorded before the grant can move the
-        // lock anywhere else.
-        self.race_sync(SyncEdge::LockRelease { lock: l });
-        let grant = {
-            let mut st = self.st.lock();
-            assert!(st.lock_held.remove(&l), "releasing a lock we do not hold");
-            st.close_interval();
-            match st.lock_pending.get_mut(&l).and_then(|q| q.pop_front()) {
-                Some(req) => {
-                    st.lock_token.remove(&l);
-                    let records = st.intervals.records_unknown_to(&req.vc);
-                    Some((req, records, st.vc.clone()))
-                }
-                None => None,
-            }
-        };
-        self.ctx.charge(self.sync_cost());
-        if let Some((req, records, vc)) = grant {
-            let msg = DsmMsg::LockGrant { lock: l, records, vc };
-            let size = msg.wire_size();
-            self.nic.unicast(&self.ctx, req.from, req.reply_to, MsgClass::Lock, size, msg);
-        }
-        Ok(())
-    }
-
-    // ---------------------------------------------------------------
-    // Fork/join (Tmk_fork / Tmk_join) — used by the runtime crate
-    // ---------------------------------------------------------------
-
-    /// Master: fork `task` to every slave, shipping each the interval
-    /// records it lacks. `replicated` marks a replicated sequential section
-    /// (the slaves will run the task with replication semantics).
-    pub fn fork_slaves(&self, task: TaskPayload, replicated: bool) -> Result<(), Stopped> {
-        assert!(self.is_master(), "only the master forks");
-        let n = self.topo.n;
-        self.race_sync(SyncEdge::ForkSend);
-        self.st.lock().close_interval();
-        for s in 1..n {
-            let msg = {
-                let mut st = self.st.lock();
-                let records = st.intervals.records_unknown_to(&st.peer_vcs[s]);
-                let vc = st.vc.clone();
-                st.peer_vcs[s] = vc.clone();
-                DsmMsg::Fork { records, vc, task: Arc::clone(&task), replicated }
-            };
-            let size = msg.wire_size();
-            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::Sync, size, msg);
-        }
-        self.ctx.charge(self.sync_cost());
-        Ok(())
-    }
-
-    /// Slave: park until the master forks a task. Valid-notice requests and
-    /// tables (the exchange preceding a replicated section) are answered
-    /// transparently while parked.
-    pub fn wait_fork(&self) -> Result<ParkEvent, Stopped> {
-        let node = self.node();
-        loop {
-            let env = self.ctx.recv()?;
-            match env.msg {
-                DsmMsg::Fork { records, vc, task, replicated } => {
-                    let cost = {
-                        let mut st = self.st.lock();
-                        let c = st.apply_records(records, &vc);
-                        st.master_known = vc;
-                        c
-                    };
-                    self.ctx.charge(cost + self.sync_cost());
-                    self.race_sync(SyncEdge::ForkRecv);
-                    return Ok(ParkEvent::Task { task, replicated });
-                }
-                DsmMsg::ValidNoticeRequest { reply_to } => {
-                    let msg = {
-                        let mut st = self.st.lock();
-                        DsmMsg::ValidNoticeReply { from: node, delta: st.take_valid_delta() }
-                    };
-                    let size = msg.wire_size();
-                    self.ctx.charge(self.sync_cost());
-                    self.nic.unicast(&self.ctx, 0, reply_to, MsgClass::ValidNotice, size, msg);
-                }
-                DsmMsg::ValidNoticeTable { deltas } => {
-                    self.st.lock().merge_valid_deltas(&deltas);
-                    self.ctx.charge(self.sync_cost());
-                }
-                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
-                other => panic!("node {node}: unexpected {} while parked", other.kind()),
-            }
-        }
-    }
-
-    /// Slave: signal completion of the forked task to the master, shipping
-    /// the interval records the master lacks.
-    pub fn join_master(&self) -> Result<(), Stopped> {
-        assert!(!self.is_master());
-        let node = self.node();
-        self.race_sync(SyncEdge::JoinSend);
-        let msg = {
-            let mut st = self.st.lock();
-            st.close_interval();
-            let records = st.intervals.records_unknown_to(&st.master_known);
-            DsmMsg::Join { from: node, vc: st.vc.clone(), records }
-        };
-        self.ctx.charge(self.sync_cost());
-        let size = msg.wire_size();
-        self.nic.unicast(&self.ctx, 0, self.topo.app_pids[0], MsgClass::Sync, size, msg);
-        Ok(())
-    }
-
-    /// Master: wait for every slave's join and merge their consistency
-    /// information. Joins that arrived while the master was blocked
-    /// elsewhere (buffered by `absorb_stray`) are consumed first.
-    pub fn wait_joins(&self) -> Result<(), Stopped> {
-        assert!(self.is_master());
-        let mut pending = self.topo.n - 1;
-        {
-            let mut st = self.st.lock();
-            st.close_interval();
-            let buffered = std::mem::take(&mut st.pending_joins);
-            drop(st);
-            for (from, vc, records) in buffered {
-                let cost = {
-                    let mut st = self.st.lock();
-                    let c = st.apply_records(records, &vc);
-                    st.peer_vcs[from] = vc;
-                    c
-                };
-                self.ctx.charge(cost + self.sync_cost());
-                self.race_sync(SyncEdge::JoinRecv { from });
-                pending -= 1;
-            }
-        }
-        while pending > 0 {
-            let env = self.ctx.recv()?;
-            match env.msg {
-                DsmMsg::Join { from, vc, records } => {
-                    let cost = {
-                        let mut st = self.st.lock();
-                        let c = st.apply_records(records, &vc);
-                        st.peer_vcs[from] = vc;
-                        c
-                    };
-                    self.ctx.charge(cost + self.sync_cost());
-                    self.race_sync(SyncEdge::JoinRecv { from });
-                    pending -= 1;
-                }
-                DsmMsg::WakePage { .. } => {}
-                other => panic!("master: unexpected {} while joining", other.kind()),
-            }
-        }
-        Ok(())
-    }
-
-    pub(crate) fn sync_cost(&self) -> Dur {
-        self.st.lock().cfg.sync_overhead
-    }
-
-    // ---------------------------------------------------------------
-    // High-level Tmk-style section helpers
-    // ---------------------------------------------------------------
-
-    /// Slave scheduler loop: park, run forked tasks (replicated sections
-    /// with replication semantics), join, repeat — until the master ships
-    /// [`Task::Shutdown`]. This is the whole life of a TreadMarks slave
-    /// (§2.2.1).
-    pub fn slave_loop(&self) -> Result<(), Stopped> {
-        assert!(!self.is_master());
-        loop {
-            let ParkEvent::Task { task, replicated } = self.wait_fork()?;
-            let task = task.downcast_ref::<Task>().expect("unknown fork payload type");
-            match task {
-                Task::Shutdown => return Ok(()),
-                Task::Run(f) => {
-                    if replicated {
-                        self.enter_replicated();
-                        f(self)?;
-                        self.end_replicated_slave()?;
-                    } else {
-                        f(self)?;
-                        self.join_master()?;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Master: run `f` as a parallel section on every node (fork, execute
-    /// the master's share, join).
-    pub fn run_parallel(
-        &self,
-        f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static,
-    ) -> Result<(), Stopped> {
-        assert!(self.is_master());
-        let task = Task::run(f);
-        let body = match task.downcast_ref::<Task>().unwrap() {
-            Task::Run(f) => Arc::clone(f),
-            Task::Shutdown => unreachable!(),
-        };
-        self.fork_slaves(task, false)?;
-        body(self)?;
-        self.wait_joins()
-    }
-
-    /// Master: run `f` as a *replicated sequential section* on every node
-    /// (valid-notice exchange, replicated fork, §5.3 entry protection,
-    /// silent exit barrier).
-    pub fn run_replicated(
-        &self,
-        f: impl Fn(&DsmNode) -> Result<(), Stopped> + Send + Sync + 'static,
-    ) -> Result<(), Stopped> {
-        assert!(self.is_master());
-        let task = Task::run(f);
-        let body = match task.downcast_ref::<Task>().unwrap() {
-            Task::Run(f) => Arc::clone(f),
-            Task::Shutdown => unreachable!(),
-        };
-        self.fork_replicated(task)?;
-        self.enter_replicated();
-        body(self)?;
-        self.end_replicated_master()
-    }
-
-    /// Master: terminate every slave's scheduler loop (end of program).
-    pub fn shutdown_slaves(&self) -> Result<(), Stopped> {
-        self.fork_slaves(Task::shutdown(), false)
-    }
-
-    /// Master: multicast the current contents of `pages` to every node (the
-    /// hand-inserted broadcast of §6.1.2 — used to isolate contention
-    /// elimination from the benefit of replicating the sequential
-    /// computation). Closes the current interval first so receivers' copies
-    /// cover the just-finished sequential section's write notices and are
-    /// not re-invalidated at the following fork.
-    pub fn broadcast_pages(&self, pages: impl IntoIterator<Item = PageId>) -> Result<(), Stopped> {
-        assert!(self.is_master(), "only the master broadcasts");
-        self.st.lock().close_interval();
-        let mut last_delivery = self.ctx.now();
-        let mut sent = 0u64;
-        for p in pages {
-            let msg = {
-                let mut st = self.st.lock();
-                // Only pages we hold a complete, valid copy of are worth
-                // broadcasting (the tree pages after a sequential build).
-                let valid = st.page_mut(p).valid;
-                if !valid {
-                    continue;
-                }
-                let data: Arc<[u8]> = st.page_data(p).to_vec().into();
-                DsmMsg::PageBroadcast { page: p, data, vc: st.vc.clone() }
-            };
-            let size = msg.wire_size();
-            let dsts: Vec<_> = self
-                .topo
-                .all_handlers()
-                .into_iter()
-                .filter(|&(node, _)| node != self.node())
-                .collect();
-            let at = self.nic.multicast(&self.ctx, &dsts, MsgClass::Broadcast, size, msg);
-            last_delivery = last_delivery.max(at);
-            sent += 1;
-        }
-        // Block until the broadcast has drained (the hub and the switch
-        // are independent media; without this the following fork's records
-        // would overtake the data and re-invalidate it at the receivers).
-        let service = self.st.lock().cfg.service_overhead;
-        let resume_at = last_delivery + service * (sent + 1);
-        let now = self.ctx.now();
-        if resume_at > now {
-            self.ctx.sleep(resume_at - now)?;
-        }
-        Ok(())
-    }
-
-    /// The page span of an address range (helper for `broadcast_pages`).
-    pub fn pages_of_range(&self, start_addr: u64, bytes: u64) -> std::ops::RangeInclusive<PageId> {
-        let ps = self.page_size as u64;
-        let first = (start_addr / ps) as PageId;
-        let last = ((start_addr + bytes.max(1) - 1) / ps) as PageId;
-        first..=last
     }
 }

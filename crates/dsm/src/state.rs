@@ -1,232 +1,55 @@
-//! Per-node protocol state and the pure (communication-free) parts of the
-//! TreadMarks protocol. Methods that model work return the virtual-time
-//! cost for the caller to charge; methods never touch the network — the
-//! runtime and handler layers do that.
+//! Per-node protocol state: a thin composite of the layer states. The
+//! pure (communication-free) protocol logic lives with each layer —
+//! [`crate::consistency`] (intervals, vector clocks, write notices),
+//! [`crate::dataplane`] (pages, twins, diffs), [`crate::strategy`]
+//! (replicated sections), [`crate::sync`] (barrier/locks),
+//! [`crate::exec`] (fork/join) and [`crate::fetch`] (request ids) — as
+//! `impl NodeState` blocks in those modules. Methods that model work
+//! return the virtual-time cost for the caller to charge; state methods
+//! never touch the network — the runtime and handler layers do that.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use repseq_sim::{Dur, Pid};
-use repseq_stats::{host, NodeId};
+use repseq_stats::NodeId;
 
 use crate::config::DsmConfig;
-use crate::diff::Diff;
-use crate::interval::{IntervalRecord, IntervalStore, PageId};
-use crate::page::{DiffEntry, DiffRecord, PageBuf, PageMeta};
-use crate::vc::Vc;
-
-/// A queued multicast request awaiting the master's serialization:
-/// (page, wanted diffs, requester).
-pub type QueuedRequest = (PageId, Vec<(NodeId, u32)>, NodeId);
-
-/// Twin-pool cap for nodes whose cluster never called
-/// [`NodeState::size_twin_pool`] (unit tests, hand-built states). Clusters
-/// size the pool from the shared-segment page count instead, since a full
-/// sweep over the segment can twin every page of it.
-const TWIN_POOL_DEFAULT_CAP: usize = 64;
-
-/// Most buffers [`NodeState::size_twin_pool`] prewarms eagerly; beyond
-/// this, first-touch allocation is cheaper than the up-front memory.
-const TWIN_POOL_PREWARM_MAX: usize = 256;
-
-/// Take a page buffer from `pool` (or allocate) and fill it with `src`.
-/// Free functions rather than methods so callers can hold a `&mut` into
-/// `self.pages` at the same time (disjoint field borrows).
-fn pool_take(pool: &mut Vec<Box<[u8]>>, src: &[u8]) -> Box<[u8]> {
-    match pool.pop() {
-        Some(mut buf) if buf.len() == src.len() => {
-            host::twin_pool_hit();
-            buf.copy_from_slice(src);
-            buf
-        }
-        _ => {
-            host::twin_pool_miss();
-            src.to_vec().into_boxed_slice()
-        }
-    }
-}
-
-/// Return a page buffer to `pool` for reuse.
-fn pool_recycle(pool: &mut Vec<Box<[u8]>>, cap: usize, buf: Box<[u8]>) {
-    if pool.len() < cap {
-        pool.push(buf);
-    }
-}
-
-/// Pending lock-acquire request queued at the current holder.
-#[derive(Debug, Clone)]
-pub struct PendingAcquire {
-    pub from: NodeId,
-    pub vc: Vc,
-    pub reply_to: Pid,
-}
-
-/// Reply-chain state for one forwarded multicast request (§5.4.2).
-#[derive(Debug)]
-pub struct ChainState {
-    pub page: PageId,
-    pub wanted: Vec<(NodeId, u32)>,
-    pub requester: NodeId,
-    /// Whose turn it is to multicast next.
-    pub next_turn: NodeId,
-    /// Turns this node never observed (dropped frames skipped over when a
-    /// later turn arrived). A chain that completes with holes did NOT
-    /// deliver every node's diffs here; timeout recovery fills the gap.
-    pub holes: u64,
-}
-
-/// Snapshot of one reply chain, taken by [`NodeState::rse_probe`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChainProbe {
-    pub req_seq: u64,
-    pub page: PageId,
-    pub requester: NodeId,
-    pub next_turn: NodeId,
-    pub holes: u64,
-}
-
-/// A read-only snapshot of one node's replicated-section protocol state
-/// (see [`NodeState::rse_probe`]). `repseq-check` asserts over these after
-/// every torture run: at quiescence, `chains`, `mcast_queue_len`,
-/// `mcast_inflight`, `rse_requested` and `waiting_page` must all be empty,
-/// and `in_rse` false.
-#[derive(Debug, Clone)]
-pub struct RseProbe {
-    pub node: NodeId,
-    pub in_rse: bool,
-    pub chains: Vec<ChainProbe>,
-    pub mcast_queue_len: usize,
-    pub mcast_inflight: Option<u64>,
-    pub rse_requested: Vec<PageId>,
-    pub waiting_page: Option<PageId>,
-    pub chain_holes: u64,
-    pub recovery_rounds: u64,
-}
-
-impl RseProbe {
-    /// True when nothing of the replicated-section machinery is left
-    /// behind: the invariant every node must satisfy once a run (or a
-    /// section) has fully retired.
-    pub fn is_quiescent(&self) -> bool {
-        !self.in_rse
-            && self.chains.is_empty()
-            && self.mcast_queue_len == 0
-            && self.mcast_inflight.is_none()
-            && self.rse_requested.is_empty()
-            && self.waiting_page.is_none()
-    }
-}
+use crate::consistency::Consistency;
+use crate::dataplane::DataPlane;
+use crate::exec::ExecState;
+use crate::fetch::FetchState;
+use crate::interval::PageId;
+use crate::strategy::RseState;
+use crate::sync::SyncState;
 
 /// One node's complete protocol state. Shared (behind a mutex) between the
 /// node's application process and its protocol-handler process; the
 /// simulation runs one process at a time, so the mutex is never contended —
 /// it only satisfies the compiler. **Never hold it across a yielding call.**
+///
+/// The fields group the state by layer; each layer's module owns the
+/// methods that touch its group (plus, where a protocol step genuinely
+/// spans layers — e.g. a write fault both twins the page and records the
+/// write in the open interval — the owning layer reaches across through
+/// the crate-internal fields).
 pub struct NodeState {
     pub node: NodeId,
     pub n: usize,
     pub cfg: DsmConfig,
-    /// Current vector time. Entry `node` counts closed intervals.
-    pub vc: Vc,
-    pub pages: HashMap<PageId, PageMeta>,
-    pub intervals: IntervalStore,
-    /// Diff cache: local creations and remote fetches, never evicted
-    /// (garbage collection is out of scope, see DESIGN.md). One record can
-    /// be keyed under several intervals it covers.
-    pub diffs: HashMap<(PageId, NodeId, u32), DiffEntry>,
-    /// Pages with a twin (writes not yet diffed).
-    pub dirty_pages: Vec<PageId>,
-    /// Recycled page-sized buffers for twins: every write fault needs a
-    /// page copy, and the steady state of a fault-heavy run would
-    /// otherwise allocate and free one page per fault. Buffers return
-    /// here when a twin is consumed by diff creation or dropped at
-    /// replicated-section exit. Capped at `twin_pool_cap`.
-    pub twin_pool: Vec<Box<[u8]>>,
-    /// Pool cap: the shared-segment page count once the cluster calls
-    /// [`NodeState::size_twin_pool`], [`TWIN_POOL_DEFAULT_CAP`] otherwise.
-    pub twin_pool_cap: usize,
-    /// Protection generation counter: bumped at every protection
-    /// *revocation* or out-of-band content change that could make a cached
-    /// translation stale — interval close, invalidation by write notice,
-    /// §5.3 write-protect at replicated-section entry/exit, diff
-    /// application, page broadcast. Permission *grants* (a write fault
-    /// enabling writing) do not bump: a stale read-only entry is merely
-    /// conservative (write lookups miss and take the slow path), and the
-    /// counter is node-global, so bumping on every fault would flush the
-    /// whole TLB each time a page is first written in an interval.
-    /// The application process's software TLB validates entries against it
-    /// with one relaxed load, so TLB hits skip the mutex and page walk.
-    /// Shared (`Arc`) because the handler process mutates protections while
-    /// the TLB lives with the application process.
-    pub prot_gen: Arc<AtomicU64>,
-    /// Pages written (write-faulted) during the current, still-open
-    /// interval. Consumed into write notices at the interval close; pages
-    /// are then re-protected so that a later write faults again and is
-    /// attributed to its own interval.
-    pub cur_writes: Vec<PageId>,
-    /// Initial page images (shared, written before the run starts).
-    pub initial: Arc<HashMap<PageId, Arc<[u8]>>>,
-
-    // ---- replicated sequential execution ----
-    pub in_rse: bool,
-    /// The (cluster-identical) vector time at replicated-section entry.
-    pub rse_entry_vc: Vc,
-    /// Pages written during the current replicated section.
-    pub rse_dirty: Vec<PageId>,
-    /// Valid notices of every node, from the exchanges at replicated-
-    /// section entry. `valid_known[q][page]` is node `q`'s valid notice.
-    pub valid_known: Vec<HashMap<PageId, Vc>>,
-    /// Own pages whose valid notice changed since the last exchange.
-    pub valid_changed: HashSet<PageId>,
-    /// Pages this node has already sent a multicast request for, in the
-    /// current replicated section.
-    pub rse_requested: HashSet<PageId>,
-    /// Page the application process is blocked on (handler wakes it).
-    pub waiting_page: Option<PageId>,
-    /// Active reply chains, by request sequence number.
-    pub chains: HashMap<u64, ChainState>,
-    /// Total chain turns this node skipped over because the frame was lost
-    /// (see [`ChainState::holes`]); monotone over the whole run, so the
-    /// torture harness can tell whether a schedule exercised the gap path.
-    pub chain_holes: u64,
-    /// §5.4.2 recovery rounds this node's application initiated (timeouts
-    /// or unproductive out-of-band wakeups that re-requested missing
-    /// diffs); monotone over the run, likewise for harness assertions.
-    pub recovery_rounds: u64,
-
-    // ---- master-only multicast serialization (§5.4.2) ----
-    pub mcast_queue: VecDeque<QueuedRequest>,
-    pub mcast_inflight: Option<u64>,
-    pub mcast_next_seq: u64,
-
-    // ---- barrier manager (node 0 only) ----
-    pub barrier_arrivals: Vec<(NodeId, Vc, Pid)>,
-
-    // ---- locks ----
-    /// Locks whose token is at this node.
-    pub lock_token: HashSet<u32>,
-    /// Locks currently held by this node's application.
-    pub lock_held: HashSet<u32>,
-    /// Acquire requests waiting for this node to release.
-    pub lock_pending: HashMap<u32, VecDeque<PendingAcquire>>,
-    /// Manager-side: the node an acquire should be forwarded to.
-    pub lock_last: HashMap<u32, NodeId>,
-
-    // ---- fork/join (master side) ----
-    /// Master: last known vector time of each node, from joins.
-    pub peer_vcs: Vec<Vc>,
-    /// What the master/barrier manager is known to know (from the last
-    /// fork or barrier departure); arrivals and joins send only records
-    /// beyond this.
-    pub master_known: Vc,
-    /// Joins that arrived while the master was blocked on something else
-    /// (e.g. its own page fault); consumed by `wait_joins`.
-    pub pending_joins: Vec<(NodeId, Vc, Vec<IntervalRecord>)>,
-    /// SeqDone signals that arrived early, likewise.
-    pub pending_seqdone: usize,
-
-    /// Sequence numbers for demand diff requests.
-    pub next_req_id: u64,
+    /// Lazy-release-consistency metadata: vector time, interval store,
+    /// and the open interval's write set.
+    pub(crate) con: Consistency,
+    /// The data plane: page table, twins, diff cache, twin pool, and the
+    /// TLB revocation counter.
+    pub(crate) data: DataPlane,
+    /// Replicated-section protocol state (§5).
+    pub(crate) rse: RseState,
+    /// Barrier-manager and lock state.
+    pub(crate) sync: SyncState,
+    /// Fork/join bookkeeping.
+    pub(crate) exec: ExecState,
+    /// Demand-fetch request ids.
+    pub(crate) fetch: FetchState,
 }
 
 impl NodeState {
@@ -240,921 +63,34 @@ impl NodeState {
             node,
             n,
             cfg,
-            vc: Vc::zero(n),
-            pages: HashMap::new(),
-            intervals: IntervalStore::new(n),
-            diffs: HashMap::new(),
-            dirty_pages: Vec::new(),
-            twin_pool: Vec::new(),
-            twin_pool_cap: TWIN_POOL_DEFAULT_CAP,
-            prot_gen: Arc::new(AtomicU64::new(0)),
-            cur_writes: Vec::new(),
-            initial,
-            in_rse: false,
-            rse_entry_vc: Vc::zero(n),
-            rse_dirty: Vec::new(),
-            valid_known: vec![HashMap::new(); n],
-            valid_changed: HashSet::new(),
-            rse_requested: HashSet::new(),
-            waiting_page: None,
-            chains: HashMap::new(),
-            chain_holes: 0,
-            recovery_rounds: 0,
-            mcast_queue: VecDeque::new(),
-            mcast_inflight: None,
-            mcast_next_seq: 0,
-            barrier_arrivals: Vec::new(),
-            lock_token: HashSet::new(),
-            lock_held: HashSet::new(),
-            lock_pending: HashMap::new(),
-            lock_last: HashMap::new(),
-            peer_vcs: vec![Vc::zero(n); n],
-            master_known: Vc::zero(n),
-            pending_joins: Vec::new(),
-            pending_seqdone: 0,
-            next_req_id: 0,
+            con: Consistency::new(n),
+            data: DataPlane::new(initial),
+            rse: RseState::new(n),
+            sync: SyncState::new(),
+            exec: ExecState::new(n),
+            fetch: FetchState::new(),
         }
-    }
-
-    /// The page contents, materialized from the initial image on first
-    /// touch.
-    pub fn page_data(&mut self, p: PageId) -> &mut [u8] {
-        let ps = self.cfg.page_size;
-        let initial = Arc::clone(&self.initial);
-        let n = self.n;
-        let page = self.pages.entry(p).or_insert_with(|| PageMeta::new(n));
-        page.materialize(ps, initial.get(&p))
-    }
-
-    /// A shared handle to the page contents (materialized on first touch),
-    /// for the software TLB and the page guards.
-    pub fn page_buf(&mut self, p: PageId) -> PageBuf {
-        let ps = self.cfg.page_size;
-        let initial = Arc::clone(&self.initial);
-        let n = self.n;
-        let page = self.pages.entry(p).or_insert_with(|| PageMeta::new(n));
-        page.buf(ps, initial.get(&p)).clone()
-    }
-
-    /// Advance the protection generation, invalidating every software-TLB
-    /// entry of this node. Called by every method that changes a page's
-    /// protection or replaces/mutates its contents outside the TLB's view.
-    /// The test-only `tlb_break_generation_bumps` config flag turns this
-    /// into a no-op so the coherence oracle can be shown to catch the
-    /// resulting stale translations.
-    #[inline]
-    pub fn bump_prot_gen(&self) {
-        if self.cfg.tlb_break_generation_bumps {
-            return;
-        }
-        self.prot_gen.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Size the twin pool for a shared segment of `seg_pages` pages: a
-    /// segment-wide fault burst (one twin per page) must recycle rather
-    /// than allocate, so the cap tracks the segment size, and the pool is
-    /// prewarmed so even the first burst hits.
-    pub fn size_twin_pool(&mut self, seg_pages: usize) {
-        self.twin_pool_cap = seg_pages.max(TWIN_POOL_DEFAULT_CAP);
-        let warm = seg_pages.min(TWIN_POOL_PREWARM_MAX);
-        let ps = self.cfg.page_size;
-        while self.twin_pool.len() < warm {
-            self.twin_pool.push(vec![0u8; ps].into_boxed_slice());
-        }
-    }
-
-    /// This node's view of page `p`, created on demand.
-    pub fn page_mut(&mut self, p: PageId) -> &mut PageMeta {
-        let n = self.n;
-        self.pages.entry(p).or_insert_with(|| PageMeta::new(n))
-    }
-
-    /// Close the current interval (performed at every release and acquire).
-    /// If pages were written, records the interval with write notices for
-    /// exactly the pages written during it, re-protects them (so a later
-    /// write faults and is attributed to its own interval), and advances
-    /// the local entry of the vector time.
-    pub fn close_interval(&mut self) {
-        if self.cur_writes.is_empty() {
-            return;
-        }
-        let node = self.node;
-        let ivx = self.vc.get(node) + 1;
-        self.vc.set(node, ivx);
-        let mut pages = std::mem::take(&mut self.cur_writes);
-        pages.sort_unstable();
-        for &p in &pages {
-            let page = self.page_mut(p);
-            page.notices.push((node, ivx));
-            page.own_undiffed.push(ivx);
-            page.written_cur = false;
-            page.writable = false;
-            // Our copy trivially contains our own writes: advance the valid
-            // notice so elections and fault logic treat own intervals as
-            // covered.
-            page.valid_at.set(node, ivx);
-            self.valid_changed.insert(p);
-        }
-        let rec = IntervalRecord { owner: node, ivx, vc: self.vc.clone(), pages };
-        let inserted = self.intervals.insert(rec);
-        debug_assert!(inserted);
-        self.bump_prot_gen(); // written pages were re-protected
-    }
-
-    /// Create the diff for a twinned page (lazy diff creation, §5.1).
-    /// Returns the modeled cost. Afterwards the page is clean: no twin,
-    /// write-protected, out of the dirty set.
-    pub fn create_own_diff(&mut self, p: PageId) -> Dur {
-        let node = self.node;
-        let mut cost = self.cfg.diff_create_cost();
-        let page = self.pages.get_mut(&p).expect("diffing unknown page");
-        let mut twin = page.twin.take().expect("diffing a page without a twin");
-        let data = page.data.as_ref().expect("twinned page must be materialized").slice();
-        let timer = host::start();
-        let diff = Diff::create(&twin, data);
-        host::record_diff_create(timer, 2 * data.len() as u64);
-        let ivxs = std::mem::take(&mut page.own_undiffed);
-        let written_cur = page.written_cur;
-        page.rse_protected = false;
-        if written_cur {
-            // The diff was requested mid-interval: it already contains the
-            // current interval's writes so far, but that interval's write
-            // notice does not exist yet. Re-twin immediately so the rest of
-            // the current interval stays separable — reusing the buffer of
-            // the twin just consumed instead of cloning the page.
-            cost += self.cfg.twin_cost();
-            let page = self.pages.get_mut(&p).unwrap();
-            twin.copy_from_slice(page.data.as_ref().unwrap().slice());
-            page.twin = Some(twin);
-            // stays writable and in the dirty set
-        } else {
-            pool_recycle(&mut self.twin_pool, self.twin_pool_cap, twin);
-            let page = self.pages.get_mut(&p).unwrap();
-            page.writable = false;
-            self.dirty_pages.retain(|&q| q != p);
-            self.bump_prot_gen(); // write permission revoked
-        }
-        let record = Arc::new(DiffRecord { owner: node, covers: ivxs.clone(), diff });
-        for ivx in ivxs {
-            self.diffs.insert((p, node, ivx), Arc::clone(&record));
-        }
-        cost
-    }
-
-    /// Incorporate interval records received at an acquire (barrier
-    /// departure, lock grant, fork). Closes the current interval first
-    /// (an acquire starts a new interval), inserts the records, posts write
-    /// notices and invalidates uncovered pages — creating diffs for our own
-    /// concurrent modifications first (the multiple-writer protocol).
-    /// Returns the modeled cost.
-    pub fn apply_records(&mut self, records: Vec<IntervalRecord>, sender_vc: &Vc) -> Dur {
-        self.close_interval();
-        let mut cost = Dur::ZERO;
-        let mut invalidated = false;
-        for rec in records {
-            // Records of our own intervals (echoed back by a barrier
-            // manager or lock chain) are already known and skipped by the
-            // duplicate check below.
-            let (owner, ivx, pages) = (rec.owner, rec.ivx, rec.pages.clone());
-            if !self.intervals.insert(rec) {
-                continue;
-            }
-            for p in pages {
-                let page = self.page_mut(p);
-                page.notices.push((owner, ivx));
-                if page.valid && !page.valid_at.covers(owner, ivx) {
-                    // Invalidate. If we have concurrent un-diffed writes,
-                    // diff them now so they stay separable (§5.1).
-                    if page.twin.is_some() {
-                        cost += self.create_own_diff(p);
-                        let page = self.page_mut(p);
-                        page.valid = false;
-                        page.writable = false;
-                    } else {
-                        page.valid = false;
-                        page.writable = false;
-                    }
-                    invalidated = true;
-                }
-            }
-        }
-        if invalidated {
-            self.bump_prot_gen(); // write-notice invalidation
-        }
-        self.vc.merge(sender_vc);
-        cost
-    }
-
-    /// Handle a write fault on a *valid* page: create the twin if the page
-    /// has none (and, during a replicated section, the §5.3 pre-section
-    /// diff first). A page re-protected at an interval close keeps its
-    /// twin; the fault only re-enables writing and records the page in the
-    /// new interval's write set. Returns the cost to charge.
-    pub fn write_fault(&mut self, p: PageId) -> Dur {
-        let mut cost = self.cfg.fault_overhead;
-        let in_rse = self.in_rse;
-        let rse_protected = self.pages.get(&p).map(|pg| pg.rse_protected).unwrap_or(false);
-        if in_rse && rse_protected {
-            // First write to a dirty page inside a replicated section:
-            // create the pre-section diff before the page may change
-            // (§5.3), then fall through to re-twin.
-            cost += self.create_own_diff(p);
-        }
-        let need_twin = self.pages.get(&p).map(|pg| pg.twin.is_none()).unwrap_or(true);
-        if need_twin {
-            cost += self.cfg.twin_cost();
-            self.page_data(p); // materialize before twinning
-            let page = self.pages.get_mut(&p).unwrap();
-            debug_assert!(page.valid, "write fault on an invalid page");
-            let twin = pool_take(&mut self.twin_pool, page.data.as_ref().unwrap().slice());
-            page.twin = Some(twin);
-            if !in_rse {
-                self.dirty_pages.push(p);
-            }
-        }
-        let page = self.pages.get_mut(&p).unwrap();
-        page.writable = true;
-        if in_rse {
-            if !page.rse_dirty {
-                page.rse_dirty = true;
-                self.rse_dirty.push(p);
-            }
-        } else if !page.written_cur {
-            page.written_cur = true;
-            self.cur_writes.push(p);
-        }
-        cost
-    }
-
-    /// The write notices this node's copy of `p` is missing.
-    pub fn needed_notices(&mut self, p: PageId) -> Vec<(NodeId, u32)> {
-        self.page_mut(p).missing_notices()
-    }
-
-    /// Group the needed notices that are not already in the diff cache by
-    /// owner: the requests an ordinary page fault sends (in parallel, to
-    /// each last writer).
-    pub fn fetch_plan(&mut self, p: PageId) -> HashMap<NodeId, Vec<u32>> {
-        let needed = self.needed_notices(p);
-        let mut plan: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        for (owner, ivx) in needed {
-            if !self.diffs.contains_key(&(p, owner, ivx)) {
-                plan.entry(owner).or_default().push(ivx);
-            }
-        }
-        plan
-    }
-
-    /// Apply every cached missing diff to the local copy of `p` in a legal
-    /// order and mark the page valid. All needed diffs must be cached.
-    /// Returns the modeled cost.
-    pub fn apply_cached_diffs(&mut self, p: PageId) -> Dur {
-        let needed = self.needed_notices(p);
-        // Collect the distinct records behind the needed notices.
-        let mut records: Vec<(u64, DiffEntry)> = Vec::new();
-        for &(owner, ivx) in &needed {
-            let rec = self
-                .diffs
-                .get(&(p, owner, ivx))
-                .unwrap_or_else(|| panic!("diff ({p},{owner},{ivx}) not cached"))
-                .clone();
-            if records.iter().any(|(_, r)| Arc::ptr_eq(r, &rec)) {
-                continue;
-            }
-            // Sort key: the vector time of the *earliest* covered interval,
-            // in a linear extension of happened-before (dominated
-            // timestamps have strictly smaller weights). The earliest
-            // interval is the right anchor for a merged record: a remote
-            // write notice that intervened after one of the covered
-            // intervals would have invalidated the writer's page and cut
-            // the merge there, so every other diff either precedes the
-            // earliest covered interval (and must apply before this record)
-            // or is concurrent with all covered intervals (and, in a
-            // race-free program, byte-disjoint).
-            let key_ivx = rec.covers[0];
-            debug_assert!(key_ivx <= self.intervals.known(owner));
-            let weight = self.intervals.get(owner, key_ivx).vc.weight();
-            records.push((weight, rec));
-        }
-        records
-            .sort_by(|a, b| (a.0, a.1.owner, a.1.covers[0]).cmp(&(b.0, b.1.owner, b.1.covers[0])));
-        let mut cost = Dur::ZERO;
-        let node = self.node;
-        let page_size = self.cfg.page_size;
-        let initial = Arc::clone(&self.initial);
-        let page = self.page_mut(p);
-        let data = page.materialize(page_size, initial.get(&p));
-        let payload: u64 = records.iter().map(|(_, rec)| rec.diff.payload_bytes()).sum();
-        // One fused pass over the page instead of one pass per record;
-        // the modeled cost still charges every record's full payload, as
-        // a real DSM would copy it.
-        let timer = host::start();
-        let applied = Diff::apply_fused(records.iter().map(|(_, rec)| &rec.diff), data);
-        host::record_diff_apply(timer, payload);
-        if let Err(e) = applied {
-            // A run outside the page means a corrupted or mis-sized diff.
-            // The in-bounds runs were applied; keep the node running on
-            // its best-effort copy rather than tearing the cluster down.
-            eprintln!("node {node}: page {p}: {e}");
-        }
-        cost += self.cfg.diff_apply_cost(payload);
-        // The copy now reflects everything we know — plus every interval
-        // the applied diffs cover, even if we have not yet seen those
-        // intervals' records. Recording the full coverage is what prevents
-        // the same bytes from being re-applied later under a different
-        // interval tag, over newer local writes.
-        let mut valid_at = self.vc.clone();
-        for (_, rec) in &records {
-            let o = rec.owner;
-            valid_at.set(o, valid_at.get(o).max(rec.max_ivx()));
-        }
-        let page = self.pages.get_mut(&p).unwrap();
-        page.valid = true;
-        page.valid_at = valid_at;
-        self.valid_changed.insert(p);
-        // The handler may have applied these diffs while the application
-        // process was blocked elsewhere: its TLB must re-check validity.
-        self.bump_prot_gen();
-        cost
-    }
-
-    /// Serve a diff request for intervals `ivxs` of this node on page `p`:
-    /// create the diff lazily if needed and return the entries. This is the
-    /// §5.3-critical path: during a replicated section the twin still holds
-    /// the pre-section base, so the diff created here contains only
-    /// pre-section modifications.
-    pub fn serve_diff_request(&mut self, p: PageId, ivxs: &[u32]) -> (Dur, Vec<DiffEntry>) {
-        let node = self.node;
-        let mut cost = Dur::ZERO;
-        let mut out: Vec<DiffEntry> = Vec::new();
-        for &ivx in ivxs {
-            if !self.diffs.contains_key(&(p, node, ivx)) {
-                // Lazy creation: must still have the twin.
-                let page = self.pages.get(&p);
-                assert!(
-                    page.map(|pg| pg.twin.is_some()).unwrap_or(false),
-                    "node {node}: diff ({p},{ivx}) requested but neither cached nor creatable"
-                );
-                cost += self.create_own_diff(p);
-            }
-            let rec = self.diffs.get(&(p, node, ivx)).unwrap().clone();
-            if !out.iter().any(|r| Arc::ptr_eq(r, &rec)) {
-                out.push(rec);
-            }
-        }
-        (cost, out)
-    }
-
-    /// Record fetched diffs in the cache, keyed under every interval each
-    /// record covers.
-    pub fn cache_diffs(&mut self, p: PageId, entries: &[DiffEntry]) {
-        for rec in entries {
-            for &ivx in &rec.covers {
-                self.diffs.entry((p, rec.owner, ivx)).or_insert_with(|| Arc::clone(rec));
-            }
-        }
-    }
-
-    /// True if every needed diff for `p` is cached (the page can be made
-    /// valid locally).
-    pub fn can_complete(&mut self, p: PageId) -> bool {
-        let needed = self.needed_notices(p);
-        needed.iter().all(|&(owner, ivx)| self.diffs.contains_key(&(p, owner, ivx)))
-    }
-
-    /// Fresh request id for demand fetches.
-    pub fn fresh_req_id(&mut self) -> u64 {
-        self.next_req_id += 1;
-        self.next_req_id
-    }
-
-    // ---- replicated sequential execution (§5.2, §5.3) ----
-
-    /// Enter a replicated section: write-protect every dirty page so lazy
-    /// diff creation cannot leak replicated writes (§5.3), and snapshot the
-    /// entry vector time (identical on every node after the fork).
-    pub fn enter_replicated(&mut self) {
-        assert!(!self.in_rse, "nested replicated sections are not supported");
-        self.in_rse = true;
-        self.rse_entry_vc = self.vc.clone();
-        self.rse_dirty.clear();
-        self.rse_requested.clear();
-        for &p in &self.dirty_pages.clone() {
-            let page = self.page_mut(p);
-            debug_assert!(page.twin.is_some());
-            page.writable = false;
-            page.rse_protected = true;
-        }
-        // §5.3 write-protect: TLB entries caching write permission for the
-        // dirty pages are now stale — the first write inside the section
-        // must fault so the pre-section diff gets created.
-        self.bump_prot_gen();
-    }
-
-    /// Leave a replicated section: unprotect the dirty pages that were
-    /// never written (§5.3: "the remaining write-protected dirty pages are
-    /// unprotected and returned to their normal state") and retire the
-    /// pages written during the section — their twins are dropped, they
-    /// stay valid everywhere, and they produce no write notices.
-    pub fn exit_replicated(&mut self) {
-        assert!(self.in_rse);
-        self.in_rse = false;
-        for &p in &self.dirty_pages.clone() {
-            let page = self.page_mut(p);
-            if page.rse_protected {
-                // Back to the normal post-interval-close state: twinned and
-                // write-protected, so the next write faults and lands in
-                // its own interval.
-                page.rse_protected = false;
-                page.writable = false;
-            }
-        }
-        let entry_vc = self.rse_entry_vc.clone();
-        for p in std::mem::take(&mut self.rse_dirty) {
-            if let Some(twin) = self.page_mut(p).twin.take() {
-                pool_recycle(&mut self.twin_pool, self.twin_pool_cap, twin);
-            }
-            let page = self.page_mut(p);
-            page.writable = false;
-            page.rse_dirty = false;
-            page.valid = true;
-            page.valid_at = entry_vc.clone();
-            self.valid_changed.insert(p);
-        }
-        self.waiting_page = None;
-        self.rse_requested.clear();
-        // Every fault of the section has been satisfied by now (SeqDone /
-        // SeqGo have been exchanged), so any chain still tracked was wedged
-        // by loss and will never advance: its requester already completed
-        // via timeout recovery. Same for the master's forward queue — a
-        // queued request whose requester recovered must not start a zombie
-        // chain in a later section.
-        self.chains.clear();
-        self.mcast_queue.clear();
-        self.mcast_inflight = None;
-        // Section retirement re-protected the pages written in it.
-        self.bump_prot_gen();
-    }
-
-    /// This node's valid-notice delta since the last exchange (§5.4.1).
-    pub fn take_valid_delta(&mut self) -> Vec<(PageId, Vc)> {
-        let mut out: Vec<(PageId, Vc)> = self
-            .valid_changed
-            .drain()
-            .map(|p| {
-                let vc = self.pages.get(&p).map(|pg| pg.valid_at.clone());
-                (p, vc)
-            })
-            .filter_map(|(p, vc)| vc.map(|vc| (p, vc)))
-            .collect();
-        out.sort_by_key(|(p, _)| *p);
-        // Mirror into our own slot of the exchanged table.
-        for (p, vc) in &out {
-            self.valid_known[self.node].insert(*p, vc.clone());
-        }
-        out
-    }
-
-    /// Merge exchanged valid-notice deltas into the table.
-    pub fn merge_valid_deltas(&mut self, deltas: &[(NodeId, PageId, Vc)]) {
-        for (q, p, vc) in deltas {
-            self.valid_known[*q].insert(*p, vc.clone());
-        }
-    }
-
-    // ---- inspection (repseq-check) ----
-
-    /// A read-only snapshot of the replicated-section protocol state, for
-    /// invariant checking. Safe to take at any point; never perturbs the
-    /// protocol.
-    pub fn rse_probe(&self) -> RseProbe {
-        let mut chains: Vec<ChainProbe> = self
-            .chains
-            .iter()
-            .map(|(&req_seq, c)| ChainProbe {
-                req_seq,
-                page: c.page,
-                requester: c.requester,
-                next_turn: c.next_turn,
-                holes: c.holes,
-            })
-            .collect();
-        chains.sort_by_key(|c| c.req_seq);
-        let mut rse_requested: Vec<PageId> = self.rse_requested.iter().copied().collect();
-        rse_requested.sort_unstable();
-        RseProbe {
-            node: self.node,
-            in_rse: self.in_rse,
-            chains,
-            mcast_queue_len: self.mcast_queue.len(),
-            mcast_inflight: self.mcast_inflight,
-            rse_requested,
-            waiting_page: self.waiting_page,
-            chain_holes: self.chain_holes,
-            recovery_rounds: self.recovery_rounds,
-        }
-    }
-
-    /// The bytes of page `p` as a local read would see them, or `None` if
-    /// the local copy is invalid. Read-only: unlike `page_data`, an
-    /// untouched page is *not* materialized into the page table — the lazy
-    /// initial image is copied out instead — so inspection never perturbs
-    /// protocol state.
-    pub fn inspect_page(&self, p: PageId) -> Option<Vec<u8>> {
-        match self.pages.get(&p) {
-            Some(pg) if !pg.valid => None,
-            Some(pg) => Some(match &pg.data {
-                Some(d) => d.slice().to_vec(),
-                None => self.initial_image(p),
-            }),
-            None => Some(self.initial_image(p)),
-        }
-    }
-
-    fn initial_image(&self, p: PageId) -> Vec<u8> {
-        match self.initial.get(&p) {
-            Some(img) => img.to_vec(),
-            None => vec![0u8; self.cfg.page_size],
-        }
-    }
-
-    /// Requester election for a replicated-section fault on `p` (§5.4.1):
-    /// every node computes, from the identical write notices and exchanged
-    /// valid notices, which nodes fault and which diffs are missing on any
-    /// of them. The faulting node with the lowest identifier requests the
-    /// union. Returns `(requester, union_of_missing)`.
-    pub fn elect_requester(&mut self, p: PageId) -> (NodeId, Vec<(NodeId, u32)>) {
-        let n = self.n;
-        let me = self.node;
-        let page = self.page_mut(p);
-        let notices = page.notices.clone();
-        let zero = Vc::zero(n);
-        let mut requester = None;
-        let mut wanted: Vec<(NodeId, u32)> = Vec::new();
-        for q in 0..n {
-            let valid_q = if q == me {
-                // Our own live valid notice (identical to what we exchanged,
-                // plus deterministic updates all nodes replay identically).
-                self.pages.get(&p).map(|pg| &pg.valid_at).unwrap_or(&zero)
-            } else {
-                self.valid_known[q].get(&p).unwrap_or(&zero)
-            };
-            let missing: Vec<(NodeId, u32)> =
-                notices.iter().copied().filter(|&(o, i)| !valid_q.covers(o, i)).collect();
-            if !missing.is_empty() {
-                requester.get_or_insert(q);
-                for m in missing {
-                    if !wanted.contains(&m) {
-                        wanted.push(m);
-                    }
-                }
-            }
-        }
-        wanted.sort();
-        (requester.expect("election on a page nobody faults on"), wanted)
     }
 }
 
+/// Shared helpers for the layer modules' unit tests.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testutil {
     use super::*;
 
-    fn state(node: NodeId, n: usize) -> NodeState {
+    pub(crate) fn state(node: NodeId, n: usize) -> NodeState {
         NodeState::new(node, n, DsmConfig::default(), Arc::new(HashMap::new()))
     }
 
     /// Simulate a local write for tests: the write-fault dance plus the
     /// actual byte store.
-    fn fake_write(st: &mut NodeState, p: PageId, offset: usize, val: u8) {
+    pub(crate) fn fake_write(st: &mut NodeState, p: PageId, offset: usize, val: u8) {
         let (valid, writable) =
-            st.pages.get(&p).map(|pg| (pg.valid, pg.writable)).unwrap_or((true, false));
+            st.data.pages.get(&p).map(|pg| (pg.valid, pg.writable)).unwrap_or((true, false));
         assert!(valid, "fake_write on an invalid page");
         if !writable {
             st.write_fault(p);
         }
         st.page_data(p)[offset] = val;
-    }
-
-    #[test]
-    fn close_interval_records_write_notices() {
-        let mut st = state(0, 2);
-        fake_write(&mut st, 3, 10, 9);
-        st.close_interval();
-        assert_eq!(st.vc.get(0), 1);
-        assert_eq!(st.intervals.known(0), 1);
-        assert_eq!(st.intervals.get(0, 1).pages, vec![3]);
-        let page = st.page_mut(3);
-        assert_eq!(page.notices, vec![(0, 1)]);
-        assert_eq!(page.own_undiffed, vec![1]);
-        assert!(page.valid_at.covers(0, 1));
-    }
-
-    #[test]
-    fn empty_interval_is_not_recorded() {
-        let mut st = state(0, 2);
-        st.close_interval();
-        assert_eq!(st.vc.get(0), 0);
-        assert_eq!(st.intervals.known(0), 0);
-    }
-
-    #[test]
-    fn own_diff_covers_all_undiffed_intervals() {
-        let mut st = state(0, 2);
-        fake_write(&mut st, 3, 0, 1);
-        st.close_interval();
-        // Page stays dirty; second interval re-notices it.
-        fake_write(&mut st, 3, 1, 2);
-        st.close_interval();
-        assert_eq!(st.page_mut(3).own_undiffed, vec![1, 2]);
-        st.create_own_diff(3);
-        assert!(st.diffs.contains_key(&(3, 0, 1)));
-        assert!(st.diffs.contains_key(&(3, 0, 2)));
-        assert!(Arc::ptr_eq(&st.diffs[&(3, 0, 1)], &st.diffs[&(3, 0, 2)]));
-        let page = st.page_mut(3);
-        assert!(page.twin.is_none() && !page.writable);
-        assert!(st.dirty_pages.is_empty());
-    }
-
-    #[test]
-    fn apply_records_invalidates_uncovered_pages() {
-        let mut st = state(1, 2);
-        let mut vc = Vc::zero(2);
-        vc.set(0, 1);
-        let rec = IntervalRecord { owner: 0, ivx: 1, vc: vc.clone(), pages: vec![7] };
-        st.apply_records(vec![rec], &vc);
-        let page = st.page_mut(7);
-        assert!(!page.valid);
-        assert_eq!(page.notices, vec![(0, 1)]);
-        assert!(st.vc.covers(0, 1));
-    }
-
-    #[test]
-    fn apply_records_diffs_concurrent_local_writes_first() {
-        // False sharing: we wrote the page, a concurrent interval of node 0
-        // also wrote it. Our writes must be diffed before invalidation.
-        let mut st = state(1, 2);
-        fake_write(&mut st, 7, 100, 42);
-        let mut vc = Vc::zero(2);
-        vc.set(0, 1);
-        let rec = IntervalRecord { owner: 0, ivx: 1, vc: vc.clone(), pages: vec![7] };
-        let cost = st.apply_records(vec![rec], &vc);
-        assert!(cost > Dur::ZERO, "diff creation must be charged");
-        // apply_records closed our interval (ivx 1 of node 1) first.
-        assert!(st.diffs.contains_key(&(7, 1, 1)));
-        let page = st.page_mut(7);
-        assert!(!page.valid);
-        assert!(page.twin.is_none());
-    }
-
-    #[test]
-    fn fetch_plan_groups_missing_by_owner() {
-        let mut st = state(2, 3);
-        for (owner, ivx) in [(0u32, 1u32), (0, 2), (1, 1)] {
-            let mut vc = Vc::zero(3);
-            vc.set(owner as usize, ivx);
-            if ivx > 1 {
-                vc.set(owner as usize, ivx);
-            }
-            let mut vcfix = Vc::zero(3);
-            vcfix.set(owner as usize, ivx);
-            let rec =
-                IntervalRecord { owner: owner as usize, ivx, vc: vcfix.clone(), pages: vec![9] };
-            st.apply_records(vec![rec], &vcfix);
-        }
-        // Cache one of them: plan must exclude it.
-        st.diffs.insert(
-            (9, 0, 1),
-            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::default() }),
-        );
-        let plan = st.fetch_plan(9);
-        assert_eq!(plan[&0], vec![2]);
-        assert_eq!(plan[&1], vec![1]);
-    }
-
-    #[test]
-    fn apply_cached_diffs_orders_by_happened_before() {
-        let ps = DsmConfig::default().page_size;
-        // Node 0 writes byte 0 = 1 in interval 1, then (after node 1 saw
-        // it) node 1 writes byte 0 = 2 in its interval 1. Node 2 must end
-        // with 2.
-        let mut st = state(2, 3);
-        let mut vc01 = Vc::zero(3);
-        vc01.set(0, 1);
-        let mut vc11 = vc01.clone();
-        vc11.set(1, 1); // node 1's interval knows node 0's
-        let r0 = IntervalRecord { owner: 0, ivx: 1, vc: vc01.clone(), pages: vec![4] };
-        let r1 = IntervalRecord { owner: 1, ivx: 1, vc: vc11.clone(), pages: vec![4] };
-        st.apply_records(vec![r0, r1], &vc11);
-        // Diffs: node 0 wrote 1, node 1 wrote 2 at the same offset.
-        let base = vec![0u8; ps];
-        let mut a = base.clone();
-        a[0] = 1;
-        let mut b = base.clone();
-        b[0] = 2;
-        st.diffs.insert(
-            (4, 0, 1),
-            Arc::new(DiffRecord { owner: 0, covers: vec![1], diff: Diff::create(&base, &a) }),
-        );
-        st.diffs.insert(
-            (4, 1, 1),
-            Arc::new(DiffRecord { owner: 1, covers: vec![1], diff: Diff::create(&a, &b) }),
-        );
-        assert!(st.can_complete(4));
-        st.apply_cached_diffs(4);
-        let page = st.page_mut(4);
-        assert!(page.valid);
-        assert_eq!(page.data.as_ref().unwrap().slice()[0], 2);
-    }
-
-    #[test]
-    fn serve_diff_request_creates_lazily() {
-        let mut st = state(0, 2);
-        fake_write(&mut st, 5, 8, 77);
-        st.close_interval();
-        let (cost, entries) = st.serve_diff_request(5, &[1]);
-        assert!(cost > Dur::ZERO);
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].owner, 0);
-        assert_eq!(entries[0].covers, vec![1]);
-        assert_eq!(entries[0].diff.payload_bytes(), 1);
-        // Second request hits the cache: free.
-        let (cost2, entries2) = st.serve_diff_request(5, &[1]);
-        assert_eq!(cost2, Dur::ZERO);
-        assert_eq!(entries2.len(), 1);
-    }
-
-    #[test]
-    fn rse_entry_protects_dirty_pages_and_exit_restores() {
-        let mut st = state(0, 2);
-        fake_write(&mut st, 6, 0, 1);
-        st.close_interval(); // the join before the section
-        st.enter_replicated();
-        {
-            let page = st.page_mut(6);
-            assert!(!page.writable && page.rse_protected && page.twin.is_some());
-        }
-        // Never written during the section: exit returns it to the normal
-        // twinned, write-protected state.
-        st.exit_replicated();
-        let page = st.page_mut(6);
-        assert!(!page.writable && !page.rse_protected && page.twin.is_some());
-        assert_eq!(st.dirty_pages, vec![6]);
-    }
-
-    #[test]
-    fn rewrite_after_close_lands_in_its_own_interval() {
-        // The spurious-write-notice regression: a page written in interval
-        // 1 but not afterwards must never be noticed in interval 2.
-        let mut st = state(0, 2);
-        fake_write(&mut st, 6, 0, 1);
-        st.close_interval();
-        // Another page is written in interval 2; page 6 is untouched.
-        fake_write(&mut st, 9, 0, 1);
-        st.close_interval();
-        assert_eq!(st.intervals.get(0, 1).pages, vec![6]);
-        assert_eq!(st.intervals.get(0, 2).pages, vec![9]);
-        assert_eq!(st.page_mut(6).notices, vec![(0, 1)]);
-        // And a page re-written later faults again and is re-noticed.
-        fake_write(&mut st, 6, 1, 2);
-        st.close_interval();
-        assert_eq!(st.intervals.get(0, 3).pages, vec![6]);
-        assert_eq!(st.page_mut(6).notices, vec![(0, 1), (0, 3)]);
-        assert_eq!(st.page_mut(6).own_undiffed, vec![1, 3]);
-    }
-
-    #[test]
-    fn mid_interval_serve_retwins_written_page() {
-        // A diff requested while the page is being written in the current
-        // interval: the diff covers the closed intervals, and the page is
-        // immediately re-twinned so the open interval stays separable.
-        let mut st = state(0, 2);
-        fake_write(&mut st, 6, 0, 1);
-        st.close_interval();
-        fake_write(&mut st, 6, 1, 2); // open interval write
-        let (_, entries) = st.serve_diff_request(6, &[1]);
-        assert_eq!(entries.len(), 1);
-        let page = st.page_mut(6);
-        assert!(page.twin.is_some(), "re-twinned");
-        assert!(page.writable, "still writable mid-interval");
-        // Closing the open interval must still produce a servable diff.
-        st.close_interval();
-        let (_, entries) = st.serve_diff_request(6, &[2]);
-        assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].covers, vec![2]);
-    }
-
-    #[test]
-    fn rse_dirty_pages_retire_silently() {
-        let mut st = state(0, 2);
-        st.enter_replicated();
-        // Simulate a replicated write (the runtime layer does this dance).
-        let ps = st.cfg.page_size;
-        {
-            let page = st.page_mut(8);
-            let data = page.materialize(ps, None).to_vec();
-            page.twin = Some(data.into_boxed_slice());
-            page.writable = true;
-            page.rse_dirty = true;
-        }
-        let gen_before = st.prot_gen.load(Ordering::Relaxed);
-        st.rse_dirty.push(8);
-        st.exit_replicated();
-        assert!(
-            st.prot_gen.load(Ordering::Relaxed) > gen_before,
-            "retiring replicated writes must invalidate the TLB"
-        );
-        let entry_vc = st.rse_entry_vc.clone();
-        let page = st.page_mut(8);
-        assert!(page.valid && !page.writable && page.twin.is_none());
-        assert_eq!(page.valid_at, entry_vc);
-        assert!(page.own_undiffed.is_empty(), "no write notices for replicated writes");
-        assert!(!st.dirty_pages.contains(&8));
-    }
-
-    #[test]
-    fn serve_during_rse_excludes_replicated_writes() {
-        // The §5.3 regression, both orders. A page is dirtied before the
-        // join (byte 0) and written during the replicated section (byte 1).
-        // The diff served for the pre-section interval must contain ONLY
-        // byte 0 — lazy diff creation must not leak the replicated write.
-
-        // Order A: the replicated write happens first.
-        let mut st = state(0, 2);
-        fake_write(&mut st, 3, 0, 7);
-        st.close_interval(); // join
-        st.enter_replicated();
-        fake_write(&mut st, 3, 1, 9); // replicated write → pre-diff + re-twin
-        let (_, entries) = st.serve_diff_request(3, &[1]);
-        assert_eq!(entries[0].diff.payload_bytes(), 1, "only the pre-section byte");
-        assert_eq!(entries[0].diff.runs()[0].offset, 0);
-
-        // Order B: the request arrives before the replicated write.
-        let mut st = state(0, 2);
-        fake_write(&mut st, 3, 0, 7);
-        st.close_interval();
-        st.enter_replicated();
-        let (_, entries) = st.serve_diff_request(3, &[1]);
-        assert_eq!(entries[0].diff.payload_bytes(), 1);
-        // The replicated write still works afterwards.
-        fake_write(&mut st, 3, 1, 9);
-        assert!(st.page_mut(3).rse_dirty);
-        st.exit_replicated();
-        assert_eq!(st.page_data(3)[0], 7);
-        assert_eq!(st.page_data(3)[1], 9);
-    }
-
-    #[test]
-    fn election_is_lowest_faulting_node_with_union() {
-        let mut st = state(2, 4);
-        // Page 3 has notices (0,1) and (1,1).
-        let mut vc0 = Vc::zero(4);
-        vc0.set(0, 1);
-        let mut vc1 = Vc::zero(4);
-        vc1.set(1, 1);
-        st.apply_records(
-            vec![
-                IntervalRecord { owner: 0, ivx: 1, vc: vc0.clone(), pages: vec![3] },
-                IntervalRecord { owner: 1, ivx: 1, vc: vc1.clone(), pages: vec![3] },
-            ],
-            &{
-                let mut m = vc0.clone();
-                m.merge(&vc1);
-                m
-            },
-        );
-        // Node 0 is missing only (1,1); node 1 is valid; node 3 missing
-        // both. Node 2 (us) missing both.
-        let mut v0 = Vc::zero(4);
-        v0.set(0, 1);
-        st.valid_known[0].insert(3, v0);
-        let mut v1 = Vc::zero(4);
-        v1.set(0, 1);
-        v1.set(1, 1);
-        st.valid_known[1].insert(3, v1);
-        // node 3: no entry → zero.
-        let (req, wanted) = st.elect_requester(3);
-        assert_eq!(req, 0, "lowest faulting node requests");
-        assert_eq!(wanted, vec![(0, 1), (1, 1)], "union of everyone's missing diffs");
-    }
-
-    #[test]
-    fn valid_delta_roundtrip() {
-        let mut st = state(1, 2);
-        fake_write(&mut st, 2, 0, 1);
-        st.close_interval();
-        let delta = st.take_valid_delta();
-        assert_eq!(delta.len(), 1);
-        assert_eq!(delta[0].0, 2);
-        assert!(delta[0].1.covers(1, 1));
-        // Drained: next delta is empty.
-        assert!(st.take_valid_delta().is_empty());
-        // Mirrored into own table slot.
-        assert!(st.valid_known[1].contains_key(&2));
-        // Merging into another node's state.
-        let mut other = state(0, 2);
-        let table: Vec<(NodeId, PageId, Vc)> =
-            delta.into_iter().map(|(p, vc)| (1usize, p, vc)).collect();
-        other.merge_valid_deltas(&table);
-        assert!(other.valid_known[1][&2].covers(1, 1));
     }
 }

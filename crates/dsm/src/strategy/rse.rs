@@ -1,22 +1,31 @@
-//! Replicated sequential execution (§5.2–§5.4): the paper's contribution.
-//!
-//! Application side: the valid-notice exchange at the join before a
-//! replicated section, requester election on faults, and the wait for
-//! multicast diffs. Handler side: the master-serialized forwarded requests
-//! and the id-ordered reply chain with null-ack flow control.
+//! Replicated sequential execution, application side (§5.2–§5.4): the
+//! valid-notice exchange at the join before a replicated section,
+//! requester election on faults, and the wait for multicast diffs. The
+//! handler side (forwarded requests, reply chains) is in
+//! [`crate::strategy::chain`].
 
-use repseq_sim::{Ctx, Stopped};
+use std::sync::Arc;
+
+use repseq_sim::Stopped;
 use repseq_stats::{MsgClass, NodeId};
 
+use crate::exec::{Task, TaskFn};
+use crate::fetch::RetryTimer;
 use crate::interval::PageId;
 use crate::msg::{DsmMsg, TaskPayload};
 use crate::runtime::DsmNode;
-use crate::state::{ChainState, NodeState};
 use crate::vc::Vc;
 
-// =================================================================
-// Application side
-// =================================================================
+/// Run one replicated sequential section from the master: valid-notice
+/// exchange, fork of the body to every node, replicated execution of the
+/// master's own copy, then the end-of-section join.
+pub(crate) fn run_master(node: &DsmNode, body: Arc<TaskFn>) -> Result<(), Stopped> {
+    let task: TaskPayload = Arc::new(Task::Run(Arc::clone(&body)));
+    node.fork_replicated(task)?;
+    node.enter_replicated();
+    body(node)?;
+    node.end_replicated_master()
+}
 
 impl DsmNode {
     /// Master: run the valid-notice exchange at the join before a
@@ -45,7 +54,7 @@ impl DsmNode {
                 DsmMsg::ValidNoticeReply { from, delta } => {
                     let mut st = self.st.lock();
                     for (p, vc) in delta {
-                        st.valid_known[from].insert(p, vc.clone());
+                        st.rse.valid_known[from].insert(p, vc.clone());
                         table.push((from, p, vc));
                     }
                     pending -= 1;
@@ -111,8 +120,8 @@ impl DsmNode {
             // SeqDone signals that arrived while the master was blocked in
             // its own replicated fault were buffered.
             let mut st = self.st.lock();
-            pending -= st.pending_seqdone;
-            st.pending_seqdone = 0;
+            pending -= st.exec.pending_seqdone;
+            st.exec.pending_seqdone = 0;
         }
         while pending > 0 {
             let env = self.ctx.recv()?;
@@ -161,7 +170,7 @@ impl DsmNode {
 /// deterministically; the elected node sends one request (serialized
 /// through the master); everyone waits for the multicast reply chain,
 /// which the node's handler applies. Timeouts trigger the direct recovery
-/// path.
+/// path, on the shared [`RetryTimer`] budget.
 pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped> {
     let me = node.node();
     let t0 = node.ctx().now();
@@ -175,11 +184,11 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
             return Ok(());
         }
         let (requester, wanted) = st.elect_requester(p);
-        let send = requester == me && !st.rse_requested.contains(&p);
+        let send = requester == me && !st.rse.requested.contains(&p);
         if send {
-            st.rse_requested.insert(p);
+            st.rse.requested.insert(p);
         }
-        st.waiting_page = Some(p);
+        st.rse.waiting_page = Some(p);
         (send, wanted)
     };
     if send_request {
@@ -196,13 +205,9 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
             msg,
         );
     }
-    let (timeout, max_retries) = {
-        let st = node.st.lock();
-        (st.cfg.rse_timeout, st.cfg.rse_max_retries)
-    };
-    let mut retries: u32 = 0;
+    let mut timer = RetryTimer::from_cfg(&node.st.lock().cfg);
     loop {
-        match node.ctx().recv_timeout(timeout)? {
+        match node.ctx().recv_timeout(timer.timeout())? {
             Some(env) => match env.msg {
                 DsmMsg::WakePage { page } if page == p => {
                     if try_complete(node, p) {
@@ -213,8 +218,7 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
                     // else's missing diffs, or part of ours was lost):
                     // re-evaluate and re-request what is still missing now,
                     // instead of sleeping out another full `rse_timeout`.
-                    retries += 1;
-                    check_recovery_budget(node, p, me, retries, max_retries);
+                    timer.note_retry(|max| recovery_diagnostic(node, p, me, max));
                     send_recovery_requests(node, p, me);
                 }
                 DsmMsg::WakePage { page } => {
@@ -241,8 +245,7 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
                 if try_complete(node, p) {
                     break;
                 }
-                retries += 1;
-                check_recovery_budget(node, p, me, retries, max_retries);
+                timer.note_retry(|max| recovery_diagnostic(node, p, me, max));
                 send_recovery_requests(node, p, me);
             }
         }
@@ -260,12 +263,12 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
 fn try_complete(node: &DsmNode, p: PageId) -> bool {
     let mut st = node.st.lock();
     if st.page_mut(p).valid {
-        st.waiting_page = None;
+        st.rse.waiting_page = None;
         return true;
     }
     if st.can_complete(p) {
         let cost = st.apply_cached_diffs(p);
-        st.waiting_page = None;
+        st.rse.waiting_page = None;
         drop(st);
         node.ctx().charge(cost);
         return true;
@@ -274,11 +277,12 @@ fn try_complete(node: &DsmNode, p: PageId) -> bool {
 }
 
 /// Unicast a §5.4.2 recovery request to every owner of a still-missing
-/// diff. The owners reply with out-of-band multicasts ([`OOB_SEQ`]).
+/// diff. The owners reply with out-of-band multicasts
+/// ([`crate::strategy::chain::OOB_SEQ`]).
 fn send_recovery_requests(node: &DsmNode, p: PageId, me: NodeId) {
     let plan = {
         let mut st = node.st.lock();
-        st.recovery_rounds += 1;
+        st.rse.recovery_rounds += 1;
         st.fetch_plan(p)
     };
     let mut owners: Vec<NodeId> = plan.keys().copied().collect();
@@ -305,252 +309,14 @@ fn send_recovery_requests(node: &DsmNode, p: PageId, me: NodeId) {
 /// A recovery that never converges points at a protocol bug or a dead
 /// owner, not at bad luck — every retry re-requests every missing diff, so
 /// the expected number of rounds under any survivable loss rate is tiny.
-/// Fail loudly with the exact state instead of looping forever.
-fn check_recovery_budget(node: &DsmNode, p: PageId, me: NodeId, retries: u32, max_retries: u32) {
-    if retries <= max_retries {
-        return;
-    }
+/// This renders the exact state for the retry budget's panic.
+fn recovery_diagnostic(node: &DsmNode, p: PageId, me: NodeId, max_retries: u32) -> String {
     let mut st = node.st.lock();
     let missing = st.fetch_plan(p);
     let valid = st.page_mut(p).valid;
-    let waiting = st.waiting_page;
-    panic!(
+    let waiting = st.rse.waiting_page;
+    format!(
         "node {me}: page {p}: §5.4.2 recovery did not converge after {max_retries} \
          retries; still missing diffs {missing:?} (valid={valid}, waiting={waiting:?})"
-    );
-}
-
-// =================================================================
-// Handler side
-// =================================================================
-
-/// Request sequence number used by out-of-band recovery replies.
-pub(crate) const OOB_SEQ: u64 = u64::MAX;
-
-/// Master handler: queue a forwarded request; start it if the medium is
-/// free ("Diff requests from different threads are serialized at the
-/// master thread", §5.4.2). Returns a message to multicast, if any.
-/// Under [`FlowControl::Concurrent`] the request is forwarded immediately
-/// with no serialization.
-pub(crate) fn master_enqueue(
-    st: &mut NodeState,
-    page: PageId,
-    wanted: Vec<(NodeId, u32)>,
-    requester: NodeId,
-) -> Option<DsmMsg> {
-    if !st.in_rse {
-        // The section this request belongs to already ended: its requester
-        // completed via timeout recovery while the request was in flight.
-        // Forwarding it now would start a zombie chain in a later section.
-        return None;
-    }
-    if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
-        let req_seq = st.mcast_next_seq;
-        st.mcast_next_seq += 1;
-        return Some(DsmMsg::McastForward { page, wanted, requester, req_seq });
-    }
-    st.mcast_queue.push_back((page, wanted, requester));
-    master_try_start(st)
-}
-
-/// Master handler: begin the next queued forwarded request if none is in
-/// flight.
-pub(crate) fn master_try_start(st: &mut NodeState) -> Option<DsmMsg> {
-    if st.mcast_inflight.is_some() {
-        return None;
-    }
-    let (page, wanted, requester) = st.mcast_queue.pop_front()?;
-    let req_seq = st.mcast_next_seq;
-    st.mcast_next_seq += 1;
-    st.mcast_inflight = Some(req_seq);
-    Some(DsmMsg::McastForward { page, wanted, requester, req_seq })
-}
-
-/// Any handler: a forwarded request arrived; set up the reply chain. The
-/// chain starts at node 0: each node multicasts its diffs — or a null
-/// acknowledgment — once it has received everything from its predecessor
-/// (§5.4.2 flow control).
-///
-/// Under [`FlowControl::Concurrent`] there is no chain: the handler
-/// immediately produces its own diffs, if it has any (the return value),
-/// and sends no null acknowledgments.
-pub(crate) fn on_forward(
-    st: &mut NodeState,
-    page: PageId,
-    wanted: Vec<(NodeId, u32)>,
-    requester: NodeId,
-    req_seq: u64,
-) -> Option<(DsmMsg, repseq_sim::Dur)> {
-    if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
-        let me = st.node;
-        let my_ivxs: Vec<u32> =
-            wanted.iter().filter(|&&(owner, _)| owner == me).map(|&(_, ivx)| ivx).collect();
-        if my_ivxs.is_empty() {
-            return None;
-        }
-        let (cost, diffs) = st.serve_diff_request(page, &my_ivxs);
-        return Some((DsmMsg::McastDiffReply { page, diffs, turn: me, req_seq }, cost));
-    }
-    st.chains.insert(req_seq, ChainState { page, wanted, requester, next_turn: 0, holes: 0 });
-    take_turn(st, req_seq)
-}
-
-/// Does this node hold the next turn of chain `req_seq`? If so, produce the
-/// turn message (diff reply or null ack) and the diff-creation cost.
-pub(crate) fn take_turn(st: &mut NodeState, req_seq: u64) -> Option<(DsmMsg, repseq_sim::Dur)> {
-    let me = st.node;
-    let (page, my_ivxs) = {
-        let chain = st.chains.get(&req_seq)?;
-        if chain.next_turn != me {
-            return None;
-        }
-        let my_ivxs: Vec<u32> =
-            chain.wanted.iter().filter(|&&(owner, _)| owner == me).map(|&(_, ivx)| ivx).collect();
-        (chain.page, my_ivxs)
-    };
-    if my_ivxs.is_empty() {
-        Some((DsmMsg::McastNullAck { page, turn: me, req_seq }, repseq_sim::Dur::ZERO))
-    } else {
-        let (cost, diffs) = st.serve_diff_request(page, &my_ivxs);
-        Some((DsmMsg::McastDiffReply { page, diffs, turn: me, req_seq }, cost))
-    }
-}
-
-/// Record that turn `turn` of chain `req_seq` was observed. Returns true if
-/// the chain completed (the last node has spoken).
-///
-/// Turns can arrive with gaps: a dropped turn frame means the next observed
-/// turn skips the lost node(s). The chain must tolerate that explicitly —
-/// advance to `max(next_turn, turn + 1)`, record the hole — rather than
-/// assert turn-by-turn delivery, because the node whose frame was lost has
-/// already taken its turn and will not retransmit; the requester's timeout
-/// recovery (§5.4.2) fetches the missing diffs directly. Duplicate or
-/// late-arriving turns (`turn < next_turn`) are ignored.
-pub(crate) fn advance_chain(st: &mut NodeState, req_seq: u64, turn: NodeId) -> bool {
-    let n = st.n;
-    let Some(chain) = st.chains.get_mut(&req_seq) else {
-        return false;
-    };
-    if turn < chain.next_turn {
-        // A duplicate or a frame that arrived after the chain moved past
-        // it: the chain state must not move backwards.
-        return false;
-    }
-    let holes = (turn - chain.next_turn) as u64;
-    if holes > 0 {
-        // Turns [next_turn, turn) were lost on this node's link. Count
-        // them so the torture harness can assert the recovery path was
-        // actually exercised; completion below no longer implies every
-        // node's diffs were observed.
-        chain.holes += holes;
-        st.chain_holes += holes;
-    }
-    chain.next_turn = turn + 1;
-    if chain.next_turn == n {
-        st.chains.remove(&req_seq);
-        true
-    } else {
-        false
-    }
-}
-
-/// Incorporate multicast diffs at a handler: cache them, and if the local
-/// copy can now be completed (and is actually missing something — nodes
-/// with valid copies ignore the traffic), apply and wake a waiting
-/// application. Returns (apply cost, wake page).
-pub(crate) fn incorporate_diffs(
-    st: &mut NodeState,
-    page: PageId,
-    diffs: &[crate::page::DiffEntry],
-) -> (repseq_sim::Dur, Option<PageId>) {
-    st.cache_diffs(page, diffs);
-    let meta = st.page_mut(page);
-    if meta.valid {
-        return (repseq_sim::Dur::ZERO, None);
-    }
-    if !st.can_complete(page) {
-        return (repseq_sim::Dur::ZERO, None);
-    }
-    let cost = st.apply_cached_diffs(page);
-    let wake = if st.waiting_page == Some(page) { Some(page) } else { None };
-    (cost, wake)
-}
-
-/// Convenience used by the handler loop to multicast a message to every
-/// handler.
-pub(crate) fn multicast_to_handlers(
-    node_nic: &repseq_net::Nic,
-    ctx: &Ctx<DsmMsg>,
-    topo: &crate::runtime::Topology,
-    class: MsgClass,
-    msg: DsmMsg,
-) {
-    let size = msg.wire_size();
-    node_nic.multicast(ctx, &topo.all_handlers(), class, size, msg);
-}
-
-// =================================================================
-// Unit tests for the chain-advance bookkeeping (the gap-tolerance
-// regression: see `advance_chain`'s doc comment).
-// =================================================================
-
-#[cfg(test)]
-mod tests {
-    use std::collections::HashMap;
-    use std::sync::Arc;
-
-    use super::*;
-    use crate::config::DsmConfig;
-
-    fn state_with_chain(n: usize, req_seq: u64) -> NodeState {
-        let mut st = NodeState::new(1, n, DsmConfig::default(), Arc::new(HashMap::new()));
-        st.chains.insert(
-            req_seq,
-            ChainState { page: 7, wanted: Vec::new(), requester: 0, next_turn: 0, holes: 0 },
-        );
-        st
-    }
-
-    /// A dropped turn frame must not wedge the chain: the next observed
-    /// turn skips over it and the skip is recorded as a hole.
-    #[test]
-    fn advance_chain_tolerates_turn_gaps() {
-        let mut st = state_with_chain(4, 0);
-        assert!(!advance_chain(&mut st, 0, 0));
-        // Turn 1's frame was lost on this node's link; turn 2 arrives next.
-        assert!(!advance_chain(&mut st, 0, 2));
-        assert_eq!(st.chains[&0].holes, 1);
-        assert_eq!(st.chain_holes, 1);
-        assert!(advance_chain(&mut st, 0, 3), "last turn completes the chain");
-        assert!(st.chains.is_empty());
-        assert_eq!(st.chain_holes, 1, "node-level hole count survives chain retirement");
-    }
-
-    /// Duplicates and frames arriving after the chain moved past their turn
-    /// must not move the chain backwards or recount holes.
-    #[test]
-    fn advance_chain_ignores_duplicate_and_late_turns() {
-        let mut st = state_with_chain(4, 9);
-        assert!(!advance_chain(&mut st, 9, 1));
-        assert_eq!(st.chain_holes, 1); // turn 0 was skipped
-        assert!(!advance_chain(&mut st, 9, 0)); // late copy of turn 0
-        assert!(!advance_chain(&mut st, 9, 1)); // duplicate of turn 1
-        assert_eq!(st.chains[&9].next_turn, 2);
-        assert_eq!(st.chain_holes, 1);
-        // Turns for unknown chains (already retired, or never forwarded
-        // here) are a no-op.
-        assert!(!advance_chain(&mut st, 42, 0));
-        assert_eq!(st.chain_holes, 1);
-    }
-
-    /// Even if every turn but the last is lost, the final frame completes
-    /// the chain — with all missing turns on the books, so completion is
-    /// never mistaken for full delivery.
-    #[test]
-    fn advance_chain_completes_past_trailing_gap() {
-        let mut st = state_with_chain(3, 2);
-        assert!(advance_chain(&mut st, 2, 2));
-        assert!(st.chains.is_empty());
-        assert_eq!(st.chain_holes, 2);
-    }
+    )
 }

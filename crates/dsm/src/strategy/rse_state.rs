@@ -1,0 +1,444 @@
+//! Replicated-sequential-execution state: everything a node tracks for
+//! §5.2–§5.4 — section membership, valid-notice tables, reply chains and
+//! the master's multicast serialization — plus the read-only probes
+//! `repseq-check` asserts over.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use repseq_stats::NodeId;
+
+use crate::dataplane::pool_recycle;
+use crate::interval::PageId;
+use crate::state::NodeState;
+use crate::vc::Vc;
+
+/// A queued multicast request awaiting the master's serialization:
+/// (page, wanted diffs, requester).
+pub(crate) type QueuedRequest = (PageId, Vec<(NodeId, u32)>, NodeId);
+
+/// Reply-chain state for one forwarded multicast request (§5.4.2).
+#[derive(Debug)]
+pub(crate) struct ChainState {
+    pub(crate) page: PageId,
+    pub(crate) wanted: Vec<(NodeId, u32)>,
+    pub(crate) requester: NodeId,
+    /// Whose turn it is to multicast next.
+    pub(crate) next_turn: NodeId,
+    /// Turns this node never observed (dropped frames skipped over when a
+    /// later turn arrived). A chain that completes with holes did NOT
+    /// deliver every node's diffs here; timeout recovery fills the gap.
+    pub(crate) holes: u64,
+}
+
+/// Snapshot of one reply chain, taken by [`NodeState::rse_probe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainProbe {
+    pub req_seq: u64,
+    pub page: PageId,
+    pub requester: NodeId,
+    pub next_turn: NodeId,
+    pub holes: u64,
+}
+
+/// A read-only snapshot of one node's replicated-section protocol state
+/// (see [`NodeState::rse_probe`]). `repseq-check` asserts over these after
+/// every torture run: at quiescence, `chains`, `mcast_queue_len`,
+/// `mcast_inflight`, `rse_requested` and `waiting_page` must all be empty,
+/// and `in_rse` false.
+#[derive(Debug, Clone)]
+pub struct RseProbe {
+    pub node: NodeId,
+    pub in_rse: bool,
+    pub chains: Vec<ChainProbe>,
+    pub mcast_queue_len: usize,
+    pub mcast_inflight: Option<u64>,
+    pub rse_requested: Vec<PageId>,
+    pub waiting_page: Option<PageId>,
+    pub chain_holes: u64,
+    pub recovery_rounds: u64,
+}
+
+impl RseProbe {
+    /// True when nothing of the replicated-section machinery is left
+    /// behind: the invariant every node must satisfy once a run (or a
+    /// section) has fully retired.
+    pub fn is_quiescent(&self) -> bool {
+        !self.in_rse
+            && self.chains.is_empty()
+            && self.mcast_queue_len == 0
+            && self.mcast_inflight.is_none()
+            && self.rse_requested.is_empty()
+            && self.waiting_page.is_none()
+    }
+}
+
+/// Per-node RSE protocol state.
+pub(crate) struct RseState {
+    /// Inside a replicated section right now.
+    pub(crate) active: bool,
+    /// The (cluster-identical) vector time at replicated-section entry.
+    pub(crate) entry_vc: Vc,
+    /// Pages written during the current replicated section.
+    pub(crate) dirty: Vec<PageId>,
+    /// Valid notices of every node, from the exchanges at replicated-
+    /// section entry. `valid_known[q][page]` is node `q`'s valid notice.
+    pub(crate) valid_known: Vec<HashMap<PageId, Vc>>,
+    /// Own pages whose valid notice changed since the last exchange.
+    pub(crate) valid_changed: HashSet<PageId>,
+    /// Pages this node has already sent a multicast request for, in the
+    /// current replicated section.
+    pub(crate) requested: HashSet<PageId>,
+    /// Page the application process is blocked on (handler wakes it).
+    pub(crate) waiting_page: Option<PageId>,
+    /// Active reply chains, by request sequence number.
+    pub(crate) chains: HashMap<u64, ChainState>,
+    /// Total chain turns this node skipped over because the frame was lost
+    /// (see [`ChainState::holes`]); monotone over the whole run, so the
+    /// torture harness can tell whether a schedule exercised the gap path.
+    pub(crate) chain_holes: u64,
+    /// §5.4.2 recovery rounds this node's application initiated (timeouts
+    /// or unproductive out-of-band wakeups that re-requested missing
+    /// diffs); monotone over the run, likewise for harness assertions.
+    pub(crate) recovery_rounds: u64,
+    /// Master only (§5.4.2): queued forwarded requests ...
+    pub(crate) mcast_queue: VecDeque<QueuedRequest>,
+    /// ... and the sequence number of the one in flight, if any.
+    pub(crate) mcast_inflight: Option<u64>,
+    pub(crate) mcast_next_seq: u64,
+}
+
+impl RseState {
+    pub(crate) fn new(n: usize) -> RseState {
+        RseState {
+            active: false,
+            entry_vc: Vc::zero(n),
+            dirty: Vec::new(),
+            valid_known: vec![HashMap::new(); n],
+            valid_changed: HashSet::new(),
+            requested: HashSet::new(),
+            waiting_page: None,
+            chains: HashMap::new(),
+            chain_holes: 0,
+            recovery_rounds: 0,
+            mcast_queue: VecDeque::new(),
+            mcast_inflight: None,
+            mcast_next_seq: 0,
+        }
+    }
+}
+
+impl NodeState {
+    /// Enter a replicated section: write-protect every dirty page so lazy
+    /// diff creation cannot leak replicated writes (§5.3), and snapshot the
+    /// entry vector time (identical on every node after the fork).
+    pub fn enter_replicated(&mut self) {
+        assert!(!self.rse.active, "nested replicated sections are not supported");
+        self.rse.active = true;
+        self.rse.entry_vc = self.con.vc.clone();
+        self.rse.dirty.clear();
+        self.rse.requested.clear();
+        for &p in &self.data.dirty_pages.clone() {
+            let page = self.page_mut(p);
+            debug_assert!(page.twin.is_some());
+            page.writable = false;
+            page.rse_protected = true;
+        }
+        // §5.3 write-protect: TLB entries caching write permission for the
+        // dirty pages are now stale — the first write inside the section
+        // must fault so the pre-section diff gets created.
+        self.bump_prot_gen();
+    }
+
+    /// Leave a replicated section: unprotect the dirty pages that were
+    /// never written (§5.3: "the remaining write-protected dirty pages are
+    /// unprotected and returned to their normal state") and retire the
+    /// pages written during the section — their twins are dropped, they
+    /// stay valid everywhere, and they produce no write notices.
+    pub fn exit_replicated(&mut self) {
+        assert!(self.rse.active);
+        self.rse.active = false;
+        for &p in &self.data.dirty_pages.clone() {
+            let page = self.page_mut(p);
+            if page.rse_protected {
+                // Back to the normal post-interval-close state: twinned and
+                // write-protected, so the next write faults and lands in
+                // its own interval.
+                page.rse_protected = false;
+                page.writable = false;
+            }
+        }
+        let entry_vc = self.rse.entry_vc.clone();
+        for p in std::mem::take(&mut self.rse.dirty) {
+            if let Some(twin) = self.page_mut(p).twin.take() {
+                pool_recycle(&mut self.data.twin_pool, self.data.twin_pool_cap, twin);
+            }
+            let page = self.page_mut(p);
+            page.writable = false;
+            page.rse_dirty = false;
+            page.valid = true;
+            page.valid_at = entry_vc.clone();
+            self.rse.valid_changed.insert(p);
+        }
+        self.rse.waiting_page = None;
+        self.rse.requested.clear();
+        // Every fault of the section has been satisfied by now (SeqDone /
+        // SeqGo have been exchanged), so any chain still tracked was wedged
+        // by loss and will never advance: its requester already completed
+        // via timeout recovery. Same for the master's forward queue — a
+        // queued request whose requester recovered must not start a zombie
+        // chain in a later section.
+        self.rse.chains.clear();
+        self.rse.mcast_queue.clear();
+        self.rse.mcast_inflight = None;
+        // Section retirement re-protected the pages written in it.
+        self.bump_prot_gen();
+    }
+
+    /// This node's valid-notice delta since the last exchange (§5.4.1).
+    pub(crate) fn take_valid_delta(&mut self) -> Vec<(PageId, Vc)> {
+        let mut out: Vec<(PageId, Vc)> = self
+            .rse
+            .valid_changed
+            .drain()
+            .map(|p| {
+                let vc = self.data.pages.get(&p).map(|pg| pg.valid_at.clone());
+                (p, vc)
+            })
+            .filter_map(|(p, vc)| vc.map(|vc| (p, vc)))
+            .collect();
+        out.sort_by_key(|(p, _)| *p);
+        // Mirror into our own slot of the exchanged table.
+        for (p, vc) in &out {
+            self.rse.valid_known[self.node].insert(*p, vc.clone());
+        }
+        out
+    }
+
+    /// Merge exchanged valid-notice deltas into the table.
+    pub(crate) fn merge_valid_deltas(&mut self, deltas: &[(NodeId, PageId, Vc)]) {
+        for (q, p, vc) in deltas {
+            self.rse.valid_known[*q].insert(*p, vc.clone());
+        }
+    }
+
+    /// Requester election for a replicated-section fault on `p` (§5.4.1):
+    /// every node computes, from the identical write notices and exchanged
+    /// valid notices, which nodes fault and which diffs are missing on any
+    /// of them. The faulting node with the lowest identifier requests the
+    /// union. Returns `(requester, union_of_missing)`.
+    pub(crate) fn elect_requester(&mut self, p: PageId) -> (NodeId, Vec<(NodeId, u32)>) {
+        let n = self.n;
+        let me = self.node;
+        let page = self.page_mut(p);
+        let notices = page.notices.clone();
+        let zero = Vc::zero(n);
+        let mut requester = None;
+        let mut wanted: Vec<(NodeId, u32)> = Vec::new();
+        for q in 0..n {
+            let valid_q = if q == me {
+                // Our own live valid notice (identical to what we exchanged,
+                // plus deterministic updates all nodes replay identically).
+                self.data.pages.get(&p).map(|pg| &pg.valid_at).unwrap_or(&zero)
+            } else {
+                self.rse.valid_known[q].get(&p).unwrap_or(&zero)
+            };
+            let missing: Vec<(NodeId, u32)> =
+                notices.iter().copied().filter(|&(o, i)| !valid_q.covers(o, i)).collect();
+            if !missing.is_empty() {
+                requester.get_or_insert(q);
+                for m in missing {
+                    if !wanted.contains(&m) {
+                        wanted.push(m);
+                    }
+                }
+            }
+        }
+        wanted.sort();
+        (requester.expect("election on a page nobody faults on"), wanted)
+    }
+
+    /// A read-only snapshot of the replicated-section protocol state, for
+    /// invariant checking. Safe to take at any point; never perturbs the
+    /// protocol.
+    pub fn rse_probe(&self) -> RseProbe {
+        let mut chains: Vec<ChainProbe> = self
+            .rse
+            .chains
+            .iter()
+            .map(|(&req_seq, c)| ChainProbe {
+                req_seq,
+                page: c.page,
+                requester: c.requester,
+                next_turn: c.next_turn,
+                holes: c.holes,
+            })
+            .collect();
+        chains.sort_by_key(|c| c.req_seq);
+        let mut rse_requested: Vec<PageId> = self.rse.requested.iter().copied().collect();
+        rse_requested.sort_unstable();
+        RseProbe {
+            node: self.node,
+            in_rse: self.rse.active,
+            chains,
+            mcast_queue_len: self.rse.mcast_queue.len(),
+            mcast_inflight: self.rse.mcast_inflight,
+            rse_requested,
+            waiting_page: self.rse.waiting_page,
+            chain_holes: self.rse.chain_holes,
+            recovery_rounds: self.rse.recovery_rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::Ordering;
+
+    use repseq_stats::NodeId;
+
+    use super::*;
+    use crate::state::testutil::{fake_write, state};
+
+    #[test]
+    fn rse_entry_protects_dirty_pages_and_exit_restores() {
+        let mut st = state(0, 2);
+        fake_write(&mut st, 6, 0, 1);
+        st.close_interval(); // the join before the section
+        st.enter_replicated();
+        {
+            let page = st.page_mut(6);
+            assert!(!page.writable && page.rse_protected && page.twin.is_some());
+        }
+        // Never written during the section: exit returns it to the normal
+        // twinned, write-protected state.
+        st.exit_replicated();
+        let page = st.page_mut(6);
+        assert!(!page.writable && !page.rse_protected && page.twin.is_some());
+        assert_eq!(st.data.dirty_pages, vec![6]);
+    }
+
+    #[test]
+    fn rse_dirty_pages_retire_silently() {
+        let mut st = state(0, 2);
+        st.enter_replicated();
+        // Simulate a replicated write (the runtime layer does this dance).
+        let ps = st.cfg.page_size;
+        {
+            let page = st.page_mut(8);
+            let data = page.materialize(ps, None).to_vec();
+            page.twin = Some(data.into_boxed_slice());
+            page.writable = true;
+            page.rse_dirty = true;
+        }
+        let gen_before = st.data.prot_gen.load(Ordering::Relaxed);
+        st.rse.dirty.push(8);
+        st.exit_replicated();
+        assert!(
+            st.data.prot_gen.load(Ordering::Relaxed) > gen_before,
+            "retiring replicated writes must invalidate the TLB"
+        );
+        let entry_vc = st.rse.entry_vc.clone();
+        let page = st.page_mut(8);
+        assert!(page.valid && !page.writable && page.twin.is_none());
+        assert_eq!(page.valid_at, entry_vc);
+        assert!(page.own_undiffed.is_empty(), "no write notices for replicated writes");
+        assert!(!st.data.dirty_pages.contains(&8));
+    }
+
+    #[test]
+    fn serve_during_rse_excludes_replicated_writes() {
+        // The §5.3 regression, both orders. A page is dirtied before the
+        // join (byte 0) and written during the replicated section (byte 1).
+        // The diff served for the pre-section interval must contain ONLY
+        // byte 0 — lazy diff creation must not leak the replicated write.
+
+        // Order A: the replicated write happens first.
+        let mut st = state(0, 2);
+        fake_write(&mut st, 3, 0, 7);
+        st.close_interval(); // join
+        st.enter_replicated();
+        fake_write(&mut st, 3, 1, 9); // replicated write → pre-diff + re-twin
+        let (_, entries) = st.serve_diff_request(3, &[1]);
+        assert_eq!(entries[0].diff.payload_bytes(), 1, "only the pre-section byte");
+        assert_eq!(entries[0].diff.runs()[0].offset, 0);
+
+        // Order B: the request arrives before the replicated write.
+        let mut st = state(0, 2);
+        fake_write(&mut st, 3, 0, 7);
+        st.close_interval();
+        st.enter_replicated();
+        let (_, entries) = st.serve_diff_request(3, &[1]);
+        assert_eq!(entries[0].diff.payload_bytes(), 1);
+        // The replicated write still works afterwards.
+        fake_write(&mut st, 3, 1, 9);
+        assert!(st.page_mut(3).rse_dirty);
+        st.exit_replicated();
+        assert_eq!(st.page_data(3)[0], 7);
+        assert_eq!(st.page_data(3)[1], 9);
+    }
+
+    #[test]
+    fn election_is_lowest_faulting_node_with_union() {
+        let mut st = state(2, 4);
+        // Page 3 has notices (0,1) and (1,1).
+        let mut vc0 = Vc::zero(4);
+        vc0.set(0, 1);
+        let mut vc1 = Vc::zero(4);
+        vc1.set(1, 1);
+        st.apply_records(
+            vec![
+                crate::interval::IntervalRecord {
+                    owner: 0,
+                    ivx: 1,
+                    vc: vc0.clone(),
+                    pages: vec![3],
+                },
+                crate::interval::IntervalRecord {
+                    owner: 1,
+                    ivx: 1,
+                    vc: vc1.clone(),
+                    pages: vec![3],
+                },
+            ],
+            &{
+                let mut m = vc0.clone();
+                m.merge(&vc1);
+                m
+            },
+        );
+        // Node 0 is missing only (1,1); node 1 is valid; node 3 missing
+        // both. Node 2 (us) missing both.
+        let mut v0 = Vc::zero(4);
+        v0.set(0, 1);
+        st.rse.valid_known[0].insert(3, v0);
+        let mut v1 = Vc::zero(4);
+        v1.set(0, 1);
+        v1.set(1, 1);
+        st.rse.valid_known[1].insert(3, v1);
+        // node 3: no entry → zero.
+        let (req, wanted) = st.elect_requester(3);
+        assert_eq!(req, 0, "lowest faulting node requests");
+        assert_eq!(wanted, vec![(0, 1), (1, 1)], "union of everyone's missing diffs");
+    }
+
+    #[test]
+    fn valid_delta_roundtrip() {
+        let mut st = state(1, 2);
+        fake_write(&mut st, 2, 0, 1);
+        st.close_interval();
+        let delta = st.take_valid_delta();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].0, 2);
+        assert!(delta[0].1.covers(1, 1));
+        // Drained: next delta is empty.
+        assert!(st.take_valid_delta().is_empty());
+        // Mirrored into own table slot.
+        assert!(st.rse.valid_known[1].contains_key(&2));
+        // Merging into another node's state.
+        let mut other = state(0, 2);
+        let table: Vec<(NodeId, PageId, Vc)> =
+            delta.into_iter().map(|(p, vc)| (1usize, p, vc)).collect();
+        other.merge_valid_deltas(&table);
+        assert!(other.rse.valid_known[1][&2].covers(1, 1));
+    }
+}

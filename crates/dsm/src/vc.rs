@@ -151,6 +151,66 @@ mod tests {
         }
 
         #[test]
+        fn prop_merge_is_commutative_associative_idempotent(
+            a in proptest::collection::vec(0u32..50, 4),
+            b in proptest::collection::vec(0u32..50, 4),
+            c in proptest::collection::vec(0u32..50, 4),
+        ) {
+            let (va, vb, vc_) = (Vc(a), Vc(b), Vc(c));
+            // commutative: merge(a,b) == merge(b,a)
+            let mut ab = va.clone();
+            ab.merge(&vb);
+            let mut ba = vb.clone();
+            ba.merge(&va);
+            proptest::prop_assert_eq!(&ab, &ba);
+            // associative: merge(merge(a,b),c) == merge(a,merge(b,c))
+            let mut ab_c = ab.clone();
+            ab_c.merge(&vc_);
+            let mut bc = vb.clone();
+            bc.merge(&vc_);
+            let mut a_bc = va.clone();
+            a_bc.merge(&bc);
+            proptest::prop_assert_eq!(&ab_c, &a_bc);
+            // idempotent: merge(a,a) == a
+            let mut aa = va.clone();
+            aa.merge(&va);
+            proptest::prop_assert_eq!(&aa, &va);
+        }
+
+        #[test]
+        fn prop_covers_agrees_with_dominance(a in proptest::collection::vec(0u32..20, 4),
+                                             b in proptest::collection::vec(0u32..20, 4)) {
+            let (va, vb) = (Vc(a), Vc(b));
+            // a ≤ b exactly when b covers every (owner, ivx) entry of a —
+            // the per-notice check and the whole-timestamp check must be
+            // two views of the same order.
+            let entrywise = (0..va.len()).all(|i| vb.covers(i, va.get(i)));
+            proptest::prop_assert_eq!(va.dominated_by(&vb), entrywise);
+            // covers round-trips with set/get: after set(i, k), exactly the
+            // indices up to k are covered at i.
+            let mut w = vb.clone();
+            for i in 0..w.len() {
+                let k = va.get(i);
+                w.set(i, k);
+                proptest::prop_assert!(w.covers(i, k));
+                proptest::prop_assert_eq!(w.get(i), k);
+                proptest::prop_assert!(!w.covers(i, k + 1));
+            }
+        }
+
+        #[test]
+        fn prop_weight_is_strictly_monotone(a in proptest::collection::vec(0u32..50, 4),
+                                            b in proptest::collection::vec(0u32..50, 4)) {
+            // weight() linearizes happened-before: strict dominance must
+            // mean strictly smaller weight (the diff-apply sort relies on
+            // this to order causally-related records).
+            let (va, vb) = (Vc(a), Vc(b));
+            if va.dominated_by(&vb) && va != vb {
+                proptest::prop_assert!(va.weight() < vb.weight());
+            }
+        }
+
+        #[test]
         fn prop_dominance_is_a_partial_order(a in proptest::collection::vec(0u32..10, 3),
                                              b in proptest::collection::vec(0u32..10, 3),
                                              c in proptest::collection::vec(0u32..10, 3)) {

@@ -20,7 +20,6 @@
 #![allow(clippy::type_complexity)]
 
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -39,7 +38,7 @@ fn mk_state() -> NodeState {
 }
 
 fn gen(st: &NodeState) -> u64 {
-    st.prot_gen.load(Ordering::Relaxed)
+    st.prot_gen()
 }
 
 /// Make page `p` a valid, written page (as after a write fault).
