@@ -123,7 +123,9 @@ impl BarnesHut {
             work: rt.alloc_array_page_aligned(n),
             cells: rt.alloc_array_page_aligned(2 * n + 64),
             order: rt.alloc_array_page_aligned(n),
-            bounds: rt.alloc_array_page_aligned(64 + 1),
+            // Sized for the actual cluster, floored at the historical 64 so
+            // layouts (and thus pins) at small scales are byte-identical.
+            bounds: rt.alloc_array_page_aligned(rt.n_nodes().max(64) + 1),
             n_cells: rt.alloc_var(),
         };
         let pos: Vec<[f64; 3]> = bodies.iter().map(|b| b.pos).collect();
@@ -143,7 +145,7 @@ impl BarnesHut {
         let h = self.h;
         let n = cfg.n_bodies;
         let n_nodes = team.n_nodes();
-        assert!(n_nodes <= 64, "bounds array sized for 64 nodes");
+        assert!(n_nodes < h.bounds.len(), "bounds array sized for {} nodes", h.bounds.len() - 1);
 
         team.start_measurement();
         for _step in 0..cfg.timesteps {

@@ -31,8 +31,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use repseq_apps::barnes_hut::BhResult;
-use repseq_bench::{bh_config, run_barnes, RunOutcome, Scale};
+use repseq_apps::barnes_hut::{BhConfig, BhResult};
+use repseq_bench::{bh_config, run_barnes, run_barnes_report, RunOutcome, Scale};
 use repseq_core::SeqMode;
 use repseq_dsm::{Cluster, ClusterConfig, Diff, DsmNode, ShArray};
 use repseq_sim::Stopped;
@@ -376,15 +376,26 @@ fn write_bench_table1(
 /// transmit link, so RSE must stay ahead of it once the tree is big enough
 /// to be worth contending over — the run is pinned at 8192 bodies and at
 /// least 16 nodes regardless of the (smoke-sized) table-run scale.
+#[allow(clippy::too_many_arguments)]
 fn write_bench_modes(
     n: usize,
     bodies: usize,
     orig: &RunOutcome<BhResult>,
     push: &RunOutcome<BhResult>,
     opt: &RunOutcome<BhResult>,
+    host: &host::HostCounters,
+    host_wall_s: f64,
     commit: &str,
 ) -> std::io::Result<()> {
     let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
+    let hit_rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    };
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"seq_exec_modes_barnes_hut\",\n");
@@ -392,6 +403,7 @@ fn write_bench_modes(
     let _ = writeln!(s, "  \"commit\": \"{commit}\",");
     let _ = writeln!(s, "  \"bodies\": {bodies},");
     let _ = writeln!(s, "  \"nodes\": {n},");
+    let _ = writeln!(s, "  \"host_wall_s\": {host_wall_s:.3},");
     s.push_str(
         "  \"note\": \"same workload and cluster for all three strategies; times are simulated seconds. master_push broadcasts the section's written pages over the master's link (contention moves from request storm to transmit serialization); rse replicates the section so no page of it ever crosses the wire\",\n",
     );
@@ -402,8 +414,115 @@ fn write_bench_modes(
     let _ = writeln!(s, "    \"push_vs_master_only\": {:.3},", t(orig) / t(push));
     let _ = writeln!(s, "    \"rse_vs_master_only\": {:.3},", t(orig) / t(opt));
     let _ = writeln!(s, "    \"rse_vs_push\": {:.3}", t(push) / t(opt));
+    s.push_str("  },\n");
+    s.push_str("  \"host_data_plane\": {\n");
+    let _ = writeln!(s, "    \"diff_create_calls\": {},", host.diff_create_calls);
+    let _ = writeln!(s, "    \"diff_create_ns\": {},", host.diff_create_ns);
+    let _ = writeln!(s, "    \"diff_apply_calls\": {},", host.diff_apply_calls);
+    let _ = writeln!(s, "    \"diff_apply_ns\": {},", host.diff_apply_ns);
+    let _ = writeln!(
+        s,
+        "    \"twin_pool_hit_rate\": {:.4},",
+        hit_rate(host.twin_pool_hits, host.twin_pool_misses)
+    );
+    let _ = writeln!(s, "    \"tlb_hit_rate\": {:.4}", hit_rate(host.tlb_hits, host.tlb_misses));
     s.push_str("  }\n}\n");
     std::fs::write("BENCH_modes.json", s)
+}
+
+// ---------------------------------------------------------------
+// Host-execution bench: serial coordinator loop vs duty-handoff
+// ---------------------------------------------------------------
+
+/// One measured host execution of the reference workload.
+struct HostRun {
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+    exec: repseq_sim::ExecCounters,
+}
+
+/// Run Barnes-Hut (RSE) at `n` nodes with `threads` host threads and time
+/// the host wall clock.
+fn host_run(n: usize, threads: usize, cfg: &BhConfig) -> (HostRun, String) {
+    let wall = Instant::now();
+    let (out, report) = run_barnes_report(SeqMode::Replicated, n, cfg.clone(), true, threads);
+    let wall_s = wall.elapsed().as_secs_f64();
+    // Everything determinism-relevant, in one comparable string: the
+    // virtual end state of the kernel, the physics, and the wire totals.
+    let agg = out.snap.total_agg_with_startup();
+    let fp = format!(
+        "end={} events={} clocks={:?} backlog={:?} total_time={} msgs={} bytes={} result={:?}",
+        report.end_time.nanos(),
+        report.events_processed,
+        report.proc_clocks,
+        report.mailbox_backlog,
+        out.snap.total_time.nanos(),
+        agg.messages,
+        agg.bytes,
+        out.result,
+    );
+    let run = HostRun {
+        wall_s,
+        events: report.events_processed,
+        events_per_sec: report.events_processed as f64 / wall_s.max(1e-9),
+        exec: report.exec,
+    };
+    (run, fp)
+}
+
+struct HostCase {
+    nodes: usize,
+    serial: HostRun,
+    handoff: HostRun,
+}
+
+fn write_bench_host(
+    scale: Scale,
+    threads: usize,
+    bodies: usize,
+    cases: &[HostCase],
+    commit: &str,
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"host_execution\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
+    let _ = writeln!(s, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(s, "  \"bodies\": {bodies},");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    s.push_str(
+        "  \"note\": \"Barnes-Hut (RSE) per cluster size, serial coordinator loop vs duty-handoff host scheduling; fingerprints (virtual end state, physics, wire totals) verified identical before writing. events_per_sec = kernel events / host wall seconds\",\n",
+    );
+    s.push_str("  \"clusters\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(s, "    {{\"nodes\": {},", c.nodes);
+        let _ = writeln!(
+            s,
+            "     \"serial\": {{\"host_wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}},",
+            c.serial.wall_s, c.serial.events, c.serial.events_per_sec
+        );
+        let _ = writeln!(
+            s,
+            "     \"handoff\": {{\"host_wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}, \"handoff_switches\": {}, \"self_continues\": {}, \"inline_events\": {}, \"sprint_pops\": {}}},",
+            c.handoff.wall_s,
+            c.handoff.events,
+            c.handoff.events_per_sec,
+            c.handoff.exec.handoff_switches,
+            c.handoff.exec.self_continues,
+            c.handoff.exec.inline_events,
+            c.handoff.exec.sprint_pops
+        );
+        let _ = writeln!(
+            s,
+            "     \"speedup\": {:.2}}}{}",
+            c.serial.wall_s / c.handoff.wall_s.max(1e-9),
+            if i + 1 < cases.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_host.json", s)
 }
 
 fn main() {
@@ -494,6 +613,15 @@ fn main() {
         counters.twin_pool_hits,
         twin_total
     );
+    let tlb_total = counters.tlb_hits + counters.tlb_misses;
+    assert!(
+        tlb_total == 0 || counters.tlb_hits as f64 >= 0.95 * tlb_total as f64,
+        "software TLB must serve >=95% of accesses without a page walk \
+         ({} hits / {} total): set-associativity, per-page generations and \
+         guard amortization should leave only protocol-mandatory faults",
+        counters.tlb_hits,
+        tlb_total
+    );
     repseq_bench::print_host_counters("table run", &counters);
 
     // The TLB must be invisible to the simulation: re-run the optimized
@@ -515,6 +643,49 @@ fn main() {
         .expect("writing BENCH_table1.json");
     println!("wrote BENCH_table1.json");
 
+    // Host-execution trajectory: serial coordinator loop vs duty-handoff
+    // scheduling on the same workload, growing the cluster past the
+    // paper's 32 nodes. Fingerprints must match before anything is
+    // written — host threading is a wall-clock optimization only.
+    let host_nodes: Vec<usize> = std::env::var("REPSEQ_BENCH_HOST_NODES")
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    let host_nodes = if host_nodes.is_empty() { vec![32, 64, 256] } else { host_nodes };
+    let host_threads: usize =
+        std::env::var("REPSEQ_BENCH_HOST_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let host_cfg = bh_config(scale);
+    let mut host_cases = Vec::new();
+    for &hn in &host_nodes {
+        println!("host execution: Barnes-Hut (RSE), {hn} nodes, threads 1 vs {host_threads}...");
+        let (serial, fp_serial) = host_run(hn, 1, &host_cfg);
+        let (handoff, fp_handoff) = host_run(hn, host_threads, &host_cfg);
+        assert_eq!(fp_serial, fp_handoff, "host threading changed the simulation at {hn} nodes");
+        println!(
+            "  serial  {:>8.3}s  {:>10.0} ev/s\n  handoff {:>8.3}s  {:>10.0} ev/s   speedup {:.2}x",
+            serial.wall_s,
+            serial.events_per_sec,
+            handoff.wall_s,
+            handoff.events_per_sec,
+            serial.wall_s / handoff.wall_s.max(1e-9)
+        );
+        // Gate: duty-handoff must not regress event throughput by more
+        // than 10% (it is expected to win; the artifact records the
+        // actual speedup). Sub-50ms serial runs are pure timer noise.
+        if serial.wall_s >= 0.05 {
+            assert!(
+                handoff.events_per_sec >= 0.9 * serial.events_per_sec,
+                "duty-handoff regressed events/sec by >10% at {hn} nodes: \
+                 serial {:.0} vs handoff {:.0}",
+                serial.events_per_sec,
+                handoff.events_per_sec
+            );
+        }
+        host_cases.push(HostCase { nodes: hn, serial, handoff });
+    }
+    write_bench_host(scale, host_threads, host_cfg.n_bodies, &host_cases, &commit)
+        .expect("writing BENCH_host.json");
+    println!("wrote BENCH_host.json");
+
     // Strategy comparison on a tree big enough to contend over: the tiny
     // table config would let the broadcast win on sheer smallness.
     let modes_n = n.max(16);
@@ -524,9 +695,13 @@ fn main() {
         "strategy comparison: {bodies} bodies, {} timesteps, {modes_n} nodes...",
         modes_cfg.timesteps
     );
+    let modes_before = host::snapshot();
+    let modes_wall = Instant::now();
     let m_orig = run_barnes(SeqMode::MasterOnly, modes_n, modes_cfg.clone());
     let m_push = run_barnes(SeqMode::MasterPush, modes_n, modes_cfg.clone());
     let m_opt = run_barnes(SeqMode::Replicated, modes_n, modes_cfg);
+    let modes_wall_s = modes_wall.elapsed().as_secs_f64();
+    let modes_host = host::snapshot().since(&modes_before);
     assert_eq!(m_orig.result, m_push.result, "strategies must agree on the physics");
     assert_eq!(m_orig.result, m_opt.result, "strategies must agree on the physics");
     let t = |o: &RunOutcome<BhResult>| o.snap.total_time.as_secs_f64();
@@ -544,7 +719,16 @@ fn main() {
         t(&m_opt),
         t(&m_push)
     );
-    write_bench_modes(modes_n, bodies, &m_orig, &m_push, &m_opt, &commit)
-        .expect("writing BENCH_modes.json");
+    write_bench_modes(
+        modes_n,
+        bodies,
+        &m_orig,
+        &m_push,
+        &m_opt,
+        &modes_host,
+        modes_wall_s,
+        &commit,
+    )
+    .expect("writing BENCH_modes.json");
     println!("wrote BENCH_modes.json");
 }

@@ -18,7 +18,7 @@ use repseq_apps::barnes_hut::{BarnesHut, BhConfig, BhResult};
 use repseq_apps::ilink::{Ilink, IlinkConfig, IlinkResult};
 use repseq_core::{RunConfig, Runtime, SeqMode};
 use repseq_dsm::ClusterConfig;
-use repseq_sim::Dur;
+use repseq_sim::{Dur, SimReport};
 use repseq_stats::{Section, StatsSnapshot};
 
 /// Benchmark scale, from `REPSEQ_SCALE`.
@@ -84,21 +84,37 @@ pub fn run_barnes_config(
     cfg: BhConfig,
     tlb_enabled: bool,
 ) -> RunOutcome<BhResult> {
+    run_barnes_report(mode, n, cfg, tlb_enabled, 1).0
+}
+
+/// Like [`run_barnes_config`], but also selects the host-execution mode
+/// (`host_threads`, see `ClusterConfig`) and returns the kernel's
+/// [`SimReport`] alongside the outcome — the host-execution bench compares
+/// reports across thread counts and derives events/sec from them.
+pub fn run_barnes_report(
+    mode: SeqMode,
+    n: usize,
+    cfg: BhConfig,
+    tlb_enabled: bool,
+    host_threads: usize,
+) -> (RunOutcome<BhResult>, SimReport) {
     let mut cluster = ClusterConfig::paper(n);
     cluster.dsm.tlb_enabled = tlb_enabled;
+    cluster.host_threads = host_threads;
     let mut rt = Runtime::new(RunConfig { cluster, seq_mode: mode });
     let app = BarnesHut::setup(&mut rt, cfg);
     let stats = rt.stats();
     let out = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
-    rt.run(move |team| {
-        let r = app.run(team)?;
-        *out2.lock() = Some(r);
-        Ok(())
-    })
-    .expect("barnes-hut run failed");
+    let report = rt
+        .run(move |team| {
+            let r = app.run(team)?;
+            *out2.lock() = Some(r);
+            Ok(())
+        })
+        .expect("barnes-hut run failed");
     let result = out.lock().take().unwrap();
-    RunOutcome { result, snap: stats.snapshot() }
+    (RunOutcome { result, snap: stats.snapshot() }, report)
 }
 
 /// Run Ilink under `mode` on `n` nodes.

@@ -1,0 +1,34 @@
+//! Committed benchmark-trajectory artifacts must be self-describing:
+//! every `BENCH_*.json` at the repository root carries the schema version
+//! and the commit it was generated at, so trajectory tooling can line up
+//! formats and provenance across the history without guessing.
+
+use std::path::PathBuf;
+
+#[test]
+fn every_bench_artifact_carries_schema_version_and_commit() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("repo root readable") {
+        let path = entry.expect("dir entry").path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_owned(),
+            None => continue,
+        };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("artifact readable");
+        let has_key =
+            |key: &str| text.lines().any(|l| l.trim_start().starts_with(&format!("\"{key}\":")));
+        assert!(has_key("schema_version"), "{name} is missing \"schema_version\"");
+        assert!(has_key("commit"), "{name} is missing \"commit\"");
+        assert!(!text.contains("\"commit\": \"\""), "{name} has an empty \"commit\" field");
+        found.push(name);
+    }
+    found.sort();
+    assert!(
+        found.len() >= 5,
+        "expected the committed BENCH artifacts (diff, mmu, table1, modes, host), found {found:?}"
+    );
+}

@@ -60,6 +60,10 @@ pub struct HarnessConfig {
     /// phases run under. The oracle and the invariant checks are
     /// strategy-agnostic, so the same sweep grid tortures every strategy.
     pub seq_exec: SeqExecMode,
+    /// Host threads driving the simulation (see
+    /// `ClusterConfig::host_threads`). Every fingerprint, oracle and pin in
+    /// this crate must be bit-identical across values of this knob.
+    pub host_threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -69,6 +73,7 @@ impl Default for HarnessConfig {
             rse_timeout: Dur::from_millis(20),
             break_generation_bumps: false,
             seq_exec: SeqExecMode::Rse,
+            host_threads: 1,
         }
     }
 }
@@ -181,6 +186,7 @@ pub(crate) fn run_once(
     ccfg.dsm.rse_timeout = cfg.rse_timeout;
     ccfg.dsm.tlb_break_generation_bumps = cfg.break_generation_bumps;
     ccfg.dsm.seq_exec = cfg.seq_exec;
+    ccfg.host_threads = cfg.host_threads;
     let mut cl = Cluster::new(ccfg, Arc::clone(&stats));
     cl.record_trace(trace);
     if let Some(sink) = race {

@@ -1,0 +1,189 @@
+//! Host-threading invariance: every committed pin in `tests/pins/` must be
+//! reproduced byte-for-byte when the same workload runs under duty-handoff
+//! host scheduling (`host_threads >= 2`) instead of the serial coordinator
+//! loop. The engine's per-group event queues and deterministic
+//! `(time, seq)` merge make host parallelism invisible to the simulation;
+//! this suite is the proof.
+//!
+//! These tests are pure consumers of the serial pins — they never
+//! regenerate. Under `REPSEQ_PIN_REGEN=1` they stand down so the serial
+//! `pins.rs` suite can rewrite the reference files without ordering races
+//! between test binaries.
+
+mod support;
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_apps::barnes_hut::{BarnesHut, BhConfig};
+use repseq_apps::ilink::{Ilink, IlinkConfig};
+use repseq_check::{
+    kitchen_sink, rse_kernel, run_schedule_instrumented, Builder, HarnessConfig, Schedule,
+};
+use repseq_core::{RunConfig, Runtime};
+use support::{check_pin_readonly, regenerating, render, render_stats};
+
+const PIN_NODES: usize = 8;
+const HOST_THREADS: usize = 2;
+
+fn pin_bh_threaded(name: &str, mut cfg: RunConfig) {
+    if regenerating() {
+        eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
+        return;
+    }
+    cfg.cluster.host_threads = HOST_THREADS;
+    let mut rt = Runtime::new(cfg);
+    let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
+    let stats = rt.stats();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let report = rt
+        .run(move |team| {
+            *slot.lock() = Some(bh.run(team)?);
+            Ok(())
+        })
+        .expect("threaded BH pin run must complete");
+    assert!(
+        report.exec.handoff_switches > 0,
+        "host_threads={HOST_THREADS} run never engaged duty handoff: {:?}",
+        report.exec
+    );
+    let r = result.lock().take().expect("BH result recorded");
+    check_pin_readonly(
+        name,
+        &render(&report, &stats.snapshot(), &format!("{r:?}")),
+        &format!("host_threads={HOST_THREADS}"),
+    );
+}
+
+fn pin_ilink_threaded(name: &str, mut cfg: RunConfig) {
+    if regenerating() {
+        eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
+        return;
+    }
+    cfg.cluster.host_threads = HOST_THREADS;
+    let mut rt = Runtime::new(cfg);
+    let il = Ilink::setup(&mut rt, IlinkConfig::tiny());
+    let stats = rt.stats();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let report = rt
+        .run(move |team| {
+            *slot.lock() = Some(il.run(team)?);
+            Ok(())
+        })
+        .expect("threaded Ilink pin run must complete");
+    assert!(
+        report.exec.handoff_switches > 0,
+        "host_threads={HOST_THREADS} run never engaged duty handoff: {:?}",
+        report.exec
+    );
+    let r = result.lock().take().expect("Ilink result recorded");
+    check_pin_readonly(
+        name,
+        &render(&report, &stats.snapshot(), &format!("{r:?}")),
+        &format!("host_threads={HOST_THREADS}"),
+    );
+}
+
+#[test]
+fn barnes_hut_master_only_pin_survives_host_threading() {
+    pin_bh_threaded("bh_master_only", RunConfig::original(PIN_NODES));
+}
+
+#[test]
+fn barnes_hut_rse_pin_survives_host_threading() {
+    pin_bh_threaded("bh_rse", RunConfig::optimized(PIN_NODES));
+}
+
+#[test]
+fn ilink_master_only_pin_survives_host_threading() {
+    pin_ilink_threaded("ilink_master_only", RunConfig::original(PIN_NODES));
+}
+
+#[test]
+fn ilink_rse_pin_survives_host_threading() {
+    pin_ilink_threaded("ilink_rse", RunConfig::optimized(PIN_NODES));
+}
+
+fn pin_harness_threaded(name: &str, build: Builder, cfg: &HarnessConfig, sched: Schedule) {
+    if regenerating() {
+        eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
+        return;
+    }
+    let cfg = HarnessConfig { host_threads: HOST_THREADS, ..*cfg };
+    let out = run_schedule_instrumented(build, &cfg, sched, None).unwrap_or_else(|e| panic!("{e}"));
+    let mut s = String::new();
+    writeln!(s, "end_time_ns: {}", out.sim.end_time.nanos()).unwrap();
+    writeln!(s, "events_processed: {}", out.sim.events_processed).unwrap();
+    writeln!(s, "proc_clocks:").unwrap();
+    for (pname, t) in &out.sim.proc_clocks {
+        writeln!(s, "  {pname}: {}", t.nanos()).unwrap();
+    }
+    writeln!(s, "mailbox_backlog:").unwrap();
+    for (pname, n) in &out.sim.mailbox_backlog {
+        writeln!(s, "  {pname}: {n}").unwrap();
+    }
+    writeln!(s, "drops: {}", out.drops).unwrap();
+    render_stats(&mut s, &out.stats);
+    check_pin_readonly(name, &s, &format!("host_threads={HOST_THREADS}"));
+}
+
+#[test]
+fn rse_kernel_clean_pin_survives_host_threading() {
+    pin_harness_threaded(
+        "kernel_clean",
+        rse_kernel,
+        &HarnessConfig::default(),
+        Schedule { seed: 0, drop_per_mille: 0, unicast: false },
+    );
+}
+
+#[test]
+fn rse_kernel_lossy_pin_survives_host_threading() {
+    pin_harness_threaded(
+        "kernel_lossy",
+        rse_kernel,
+        &HarnessConfig::default(),
+        Schedule { seed: 3, drop_per_mille: 250, unicast: true },
+    );
+}
+
+#[test]
+fn kitchen_sink_clean_pin_survives_host_threading() {
+    pin_harness_threaded(
+        "sink_clean",
+        kitchen_sink,
+        &HarnessConfig { nodes: 4, ..HarnessConfig::default() },
+        Schedule { seed: 0, drop_per_mille: 0, unicast: false },
+    );
+}
+
+/// Pin-file-independent invariance: the same workload at 1 vs 4 host
+/// threads produces identical reports and statistics, compared directly in
+/// memory. Catches drift even mid-regeneration when the pin files are in
+/// flux.
+#[test]
+fn report_and_stats_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut cfg = RunConfig::optimized(PIN_NODES);
+        cfg.cluster.host_threads = threads;
+        let mut rt = Runtime::new(cfg);
+        let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
+        let stats = rt.stats();
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let report = rt
+            .run(move |team| {
+                *slot.lock() = Some(bh.run(team)?);
+                Ok(())
+            })
+            .expect("run must complete");
+        let r = result.lock().take().expect("result recorded");
+        render(&report, &stats.snapshot(), &format!("{r:?}"))
+    };
+    let serial = run(1);
+    let threaded = run(4);
+    assert_eq!(serial, threaded, "host_threads=4 diverged from serial execution");
+}

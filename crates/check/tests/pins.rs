@@ -18,8 +18,9 @@
 //! REPSEQ_PIN_REGEN=1 cargo test -p repseq-check --release --test pins
 //! ```
 
+mod support;
+
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,70 +30,9 @@ use repseq_check::{
     kitchen_sink, rse_kernel, run_schedule_instrumented, Builder, HarnessConfig, Schedule,
 };
 use repseq_core::{RunConfig, Runtime};
-use repseq_sim::SimReport;
-use repseq_stats::StatsSnapshot;
+use support::{check_pin, render, render_stats};
 
 const PIN_NODES: usize = 8;
-
-// ---------------------------------------------------------------------
-// Canonical rendering
-// ---------------------------------------------------------------------
-
-/// Render a simulation report + statistics snapshot (+ optional
-/// app-result debug string) as stable, human-diffable text.
-fn render(report: &SimReport, stats: &StatsSnapshot, result: &str) -> String {
-    let mut s = String::new();
-    writeln!(s, "end_time_ns: {}", report.end_time.nanos()).unwrap();
-    writeln!(s, "events_processed: {}", report.events_processed).unwrap();
-    writeln!(s, "proc_clocks:").unwrap();
-    for (name, t) in &report.proc_clocks {
-        writeln!(s, "  {name}: {}", t.nanos()).unwrap();
-    }
-    writeln!(s, "mailbox_backlog:").unwrap();
-    for (name, n) in &report.mailbox_backlog {
-        writeln!(s, "  {name}: {n}").unwrap();
-    }
-    render_stats(&mut s, stats);
-    writeln!(s, "result: {result}").unwrap();
-    s
-}
-
-fn render_stats(s: &mut String, stats: &StatsSnapshot) {
-    writeln!(s, "total_time_ns: {}", stats.total_time.nanos()).unwrap();
-    writeln!(s, "seq_time_ns: {}", stats.seq_time().nanos()).unwrap();
-    writeln!(s, "par_time_ns: {}", stats.par_time().nanos()).unwrap();
-    for (i, node) in stats.nodes.iter().enumerate() {
-        writeln!(s, "node {i}:").unwrap();
-        for (j, sec) in node.sections.iter().enumerate() {
-            writeln!(s, "  section {j}: {sec:?}").unwrap();
-        }
-    }
-}
-
-fn pin_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/pins").join(format!("{name}.pin"))
-}
-
-/// Compare `rendered` against the committed pin, or rewrite the pin when
-/// `REPSEQ_PIN_REGEN=1`.
-fn check_pin(name: &str, rendered: &str) {
-    let path = pin_path(name);
-    if std::env::var("REPSEQ_PIN_REGEN").map(|v| v == "1").unwrap_or(false) {
-        std::fs::create_dir_all(path.parent().unwrap()).expect("pin dir");
-        std::fs::write(&path, rendered).expect("pin write");
-        eprintln!("regenerated pin {}", path.display());
-        return;
-    }
-    let pinned = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing pin {} ({e}); run with REPSEQ_PIN_REGEN=1", name));
-    assert_eq!(
-        pinned,
-        rendered,
-        "fingerprint for `{name}` drifted from the pre-refactor pin \
-         ({}). The pinned modes must stay bit-identical across refactors.",
-        path.display()
-    );
-}
 
 // ---------------------------------------------------------------------
 // Application pins: Barnes-Hut and Ilink under both pre-existing modes

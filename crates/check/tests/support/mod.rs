@@ -1,0 +1,93 @@
+//! Shared helpers for the pin test crates: canonical rendering of a run's
+//! determinism-relevant residue and byte-exact comparison against the
+//! committed pins under `tests/pins/`.
+//!
+//! Used by `pins.rs` (serial reference, owns regeneration) and
+//! `host_exec.rs` (re-runs the same workloads under duty-handoff host
+//! scheduling and holds them to the same bytes).
+#![allow(dead_code)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use repseq_sim::SimReport;
+use repseq_stats::StatsSnapshot;
+
+/// Render a simulation report + statistics snapshot (+ optional
+/// app-result debug string) as stable, human-diffable text.
+pub fn render(report: &SimReport, stats: &StatsSnapshot, result: &str) -> String {
+    let mut s = String::new();
+    writeln!(s, "end_time_ns: {}", report.end_time.nanos()).unwrap();
+    writeln!(s, "events_processed: {}", report.events_processed).unwrap();
+    writeln!(s, "proc_clocks:").unwrap();
+    for (name, t) in &report.proc_clocks {
+        writeln!(s, "  {name}: {}", t.nanos()).unwrap();
+    }
+    writeln!(s, "mailbox_backlog:").unwrap();
+    for (name, n) in &report.mailbox_backlog {
+        writeln!(s, "  {name}: {n}").unwrap();
+    }
+    render_stats(&mut s, stats);
+    writeln!(s, "result: {result}").unwrap();
+    s
+}
+
+pub fn render_stats(s: &mut String, stats: &StatsSnapshot) {
+    writeln!(s, "total_time_ns: {}", stats.total_time.nanos()).unwrap();
+    writeln!(s, "seq_time_ns: {}", stats.seq_time().nanos()).unwrap();
+    writeln!(s, "par_time_ns: {}", stats.par_time().nanos()).unwrap();
+    for (i, node) in stats.nodes.iter().enumerate() {
+        writeln!(s, "node {i}:").unwrap();
+        for (j, sec) in node.sections.iter().enumerate() {
+            writeln!(s, "  section {j}: {sec:?}").unwrap();
+        }
+    }
+}
+
+pub fn pin_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/pins").join(format!("{name}.pin"))
+}
+
+/// True when this invocation is regenerating the pins (the serial
+/// reference in `pins.rs` writes them; everything else must stand down).
+pub fn regenerating() -> bool {
+    std::env::var("REPSEQ_PIN_REGEN").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Compare `rendered` against the committed pin, or rewrite the pin when
+/// `REPSEQ_PIN_REGEN=1`.
+pub fn check_pin(name: &str, rendered: &str) {
+    let path = pin_path(name);
+    if regenerating() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("pin dir");
+        std::fs::write(&path, rendered).expect("pin write");
+        eprintln!("regenerated pin {}", path.display());
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing pin {} ({e}); run with REPSEQ_PIN_REGEN=1", name));
+    assert_eq!(
+        pinned,
+        rendered,
+        "fingerprint for `{name}` drifted from the pre-refactor pin \
+         ({}). The pinned modes must stay bit-identical across refactors.",
+        path.display()
+    );
+}
+
+/// Compare `rendered` against the committed pin without ever rewriting it:
+/// the parallel-host reruns are consumers of the serial reference, never
+/// its source.
+pub fn check_pin_readonly(name: &str, rendered: &str, what: &str) {
+    let path = pin_path(name);
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing pin {} ({e}); regenerate via the serial pins first", name)
+    });
+    assert_eq!(
+        pinned,
+        rendered,
+        "fingerprint for `{name}` under {what} diverged from the serial pin \
+         ({}). Host threading must be invisible to the simulation.",
+        path.display()
+    );
+}

@@ -128,6 +128,11 @@ impl Runtime {
         self.cluster.config().dsm.page_size
     }
 
+    /// The cluster's node count (for sizing per-node shared structures).
+    pub fn n_nodes(&self) -> usize {
+        self.cluster.config().nodes
+    }
+
     /// Run `program` as the master; every other node parks in the slave
     /// scheduler loop. Slaves are shut down automatically when the program
     /// returns.

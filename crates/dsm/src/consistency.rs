@@ -59,11 +59,13 @@ impl NodeState {
             // covered.
             page.valid_at.set(node, ivx);
             self.rse.valid_changed.insert(p);
+            // The written page was re-protected; it stays valid and
+            // readable, so only writable translations go stale.
+            self.bump_page_write_prot_gen(p);
         }
-        let rec = IntervalRecord { owner: node, ivx, vc: self.con.vc.clone(), pages };
+        let rec = IntervalRecord::new(node, ivx, self.con.vc.clone(), pages);
         let inserted = self.con.intervals.insert(rec);
         debug_assert!(inserted);
-        self.bump_prot_gen(); // written pages were re-protected
     }
 
     /// Incorporate interval records received at an acquire (barrier
@@ -75,16 +77,17 @@ impl NodeState {
     pub fn apply_records(&mut self, records: Vec<IntervalRecord>, sender_vc: &Vc) -> Dur {
         self.close_interval();
         let mut cost = Dur::ZERO;
-        let mut invalidated = false;
         for rec in records {
             // Records of our own intervals (echoed back by a barrier
             // manager or lock chain) are already known and skipped by the
-            // duplicate check below.
-            let (owner, ivx, pages) = (rec.owner, rec.ivx, rec.pages.clone());
+            // duplicate check below. Keeping a handle on the shared
+            // payload (an Arc bump, not a deep copy) lets `insert` consume
+            // the record while we still walk its pages.
+            let (owner, ivx, data) = (rec.owner, rec.ivx, std::sync::Arc::clone(&rec.data));
             if !self.con.intervals.insert(rec) {
                 continue;
             }
-            for p in pages {
+            for &p in &data.pages {
                 let page = self.page_mut(p);
                 page.notices.push((owner, ivx));
                 if page.valid && !page.valid_at.covers(owner, ivx) {
@@ -99,12 +102,9 @@ impl NodeState {
                         page.valid = false;
                         page.writable = false;
                     }
-                    invalidated = true;
+                    self.bump_page_prot_gen(p); // write-notice invalidation
                 }
             }
-        }
-        if invalidated {
-            self.bump_prot_gen(); // write-notice invalidation
         }
         self.con.vc.merge(sender_vc);
         cost
@@ -143,7 +143,7 @@ mod tests {
         let mut st = state(1, 2);
         let mut vc = Vc::zero(2);
         vc.set(0, 1);
-        let rec = IntervalRecord { owner: 0, ivx: 1, vc: vc.clone(), pages: vec![7] };
+        let rec = IntervalRecord::new(0, 1, vc.clone(), vec![7]);
         st.apply_records(vec![rec], &vc);
         let page = st.page_mut(7);
         assert!(!page.valid);
@@ -159,7 +159,7 @@ mod tests {
         fake_write(&mut st, 7, 100, 42);
         let mut vc = Vc::zero(2);
         vc.set(0, 1);
-        let rec = IntervalRecord { owner: 0, ivx: 1, vc: vc.clone(), pages: vec![7] };
+        let rec = IntervalRecord::new(0, 1, vc.clone(), vec![7]);
         let cost = st.apply_records(vec![rec], &vc);
         assert!(cost > Dur::ZERO, "diff creation must be charged");
         // apply_records closed our interval (ivx 1 of node 1) first.

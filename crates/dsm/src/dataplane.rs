@@ -30,6 +30,15 @@ const TWIN_POOL_DEFAULT_CAP: usize = 64;
 /// this, first-touch allocation is cheaper than the up-front memory.
 const TWIN_POOL_PREWARM_MAX: usize = 256;
 
+/// Cluster-wide prewarm budget in pages (32 MiB at 4 KiB pages), split
+/// evenly across nodes. Prewarming is per node, so without the split a
+/// 256-node cluster would eagerly commit `256 × TWIN_POOL_PREWARM_MAX`
+/// pages before the run even starts. Each node's share never drops below
+/// [`TWIN_POOL_DEFAULT_CAP`]: enough to cover the whole segment of the
+/// scaled-down workloads that large host runs actually use, so their
+/// twin-pool hit rate stays ≥ 0.90 (pinned by `twin_pool_256.rs`).
+const TWIN_POOL_PREWARM_BUDGET: usize = 8192;
+
 /// Take a page buffer from `pool` (or allocate) and fill it with `src`.
 /// Free functions rather than methods so callers can hold a `&mut` into
 /// the page table at the same time (disjoint field borrows).
@@ -54,6 +63,92 @@ pub(crate) fn pool_recycle(pool: &mut Vec<Box<[u8]>>, cap: usize, buf: Box<[u8]>
     }
 }
 
+/// Number of per-page generation buckets in a [`GenTable`]. Pages hash in
+/// by their low bits; a bucket collision only *over*-invalidates (the
+/// colliding page's TLB entries revalidate through the slow path), never
+/// under-invalidates, so the count is purely a hit-rate/memory trade.
+const GEN_BUCKETS: usize = 1024;
+
+/// Per-page protection generations plus a monotone node-wide total.
+///
+/// Revoking one page's protection used to bump a single node-global
+/// counter, flushing every software-TLB entry of the node; with
+/// generations per page bucket, a revocation invalidates only the
+/// translations of (pages aliasing) that page. Each bucket carries *two*
+/// generations because the two ways a translation can go stale are
+/// asymmetric:
+///
+/// * the **read** generation covers the mapping itself — bumped when the
+///   page is invalidated or its contents change out of band, which
+///   retires every cached translation of the page;
+/// * the **write** generation covers write permission only — bumped when
+///   writing is revoked but the page stays valid and readable (interval
+///   close, §5.3 write-protect at replicated-section entry/exit), which
+///   retires only *writable* translations: a read-only entry is still
+///   exactly right, and keeping it is most of the TLB's hit rate on
+///   read-mostly phases.
+///
+/// The `total` counter is bumped alongside every per-page bump so "did
+/// anything change?" monotonicity checks (and [`NodeState::prot_gen`])
+/// keep a single number to compare.
+pub(crate) struct GenTable {
+    total: AtomicU64,
+    read_gens: Vec<AtomicU64>,
+    write_gens: Vec<AtomicU64>,
+}
+
+impl GenTable {
+    fn new() -> GenTable {
+        GenTable {
+            total: AtomicU64::new(0),
+            read_gens: (0..GEN_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            write_gens: (0..GEN_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn bucket(p: PageId) -> usize {
+        p as usize & (GEN_BUCKETS - 1)
+    }
+
+    /// The read (mapping) generation a software-TLB entry for page `p`
+    /// must be stamped with (and validated against) right now.
+    #[inline]
+    pub(crate) fn page_read(&self, p: PageId) -> u64 {
+        self.read_gens[Self::bucket(p)].load(Ordering::Relaxed)
+    }
+
+    /// The write-permission generation for page `p`.
+    #[inline]
+    pub(crate) fn page_write(&self, p: PageId) -> u64 {
+        self.write_gens[Self::bucket(p)].load(Ordering::Relaxed)
+    }
+
+    /// Monotone count of every per-page bump on this node.
+    #[inline]
+    pub(crate) fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Revoke every cached translation of page `p` (and, via bucket
+    /// collision, possibly of a few unrelated pages — always safe, only
+    /// slower): invalidation or out-of-band content change.
+    #[inline]
+    pub(crate) fn bump_page(&self, p: PageId) {
+        self.read_gens[Self::bucket(p)].fetch_add(1, Ordering::Relaxed);
+        self.write_gens[Self::bucket(p)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Revoke only *writable* cached translations of page `p`: the page
+    /// stays valid and readable, so read-only entries remain current.
+    #[inline]
+    pub(crate) fn bump_page_write(&self, p: PageId) {
+        self.write_gens[Self::bucket(p)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Page/twin/diff state: one node's local memory.
 pub(crate) struct DataPlane {
     pub(crate) pages: HashMap<PageId, PageMeta>,
@@ -72,20 +167,19 @@ pub(crate) struct DataPlane {
     /// Pool cap: the shared-segment page count once the cluster calls
     /// [`NodeState::size_twin_pool`], [`TWIN_POOL_DEFAULT_CAP`] otherwise.
     pub(crate) twin_pool_cap: usize,
-    /// Protection generation counter: bumped at every protection
-    /// *revocation* or out-of-band content change that could make a cached
-    /// translation stale — interval close, invalidation by write notice,
-    /// §5.3 write-protect at replicated-section entry/exit, diff
-    /// application, page broadcast. Permission *grants* (a write fault
-    /// enabling writing) do not bump: a stale read-only entry is merely
-    /// conservative (write lookups miss and take the slow path), and the
-    /// counter is node-global, so bumping on every fault would flush the
-    /// whole TLB each time a page is first written in an interval.
-    /// The application process's software TLB validates entries against it
-    /// with one relaxed load, so TLB hits skip the mutex and page walk.
-    /// Shared (`Arc`) because the handler process mutates protections while
-    /// the TLB lives with the application process.
-    pub(crate) prot_gen: Arc<AtomicU64>,
+    /// Per-page protection generations: bumped for a page at every
+    /// protection *revocation* or out-of-band content change that could
+    /// make a cached translation of it stale — interval close, invalidation
+    /// by write notice, §5.3 write-protect at replicated-section
+    /// entry/exit, diff application, page broadcast. Permission *grants* (a
+    /// write fault enabling writing) do not bump: a stale read-only entry
+    /// is merely conservative (write lookups miss and take the slow path).
+    /// The application process's software TLB validates entries against the
+    /// owning page's generation with one relaxed load, so TLB hits skip the
+    /// mutex and page walk, and revoking one page no longer flushes every
+    /// unrelated entry. Shared (`Arc`) because the handler process mutates
+    /// protections while the TLB lives with the application process.
+    pub(crate) prot_gen: Arc<GenTable>,
     /// Initial page images (shared, written before the run starts).
     pub(crate) initial: Arc<HashMap<PageId, Arc<[u8]>>>,
 }
@@ -98,7 +192,7 @@ impl DataPlane {
             dirty_pages: Vec::new(),
             twin_pool: Vec::new(),
             twin_pool_cap: TWIN_POOL_DEFAULT_CAP,
-            prot_gen: Arc::new(AtomicU64::new(0)),
+            prot_gen: Arc::new(GenTable::new()),
             initial,
         }
     }
@@ -127,39 +221,61 @@ impl NodeState {
         page.buf(ps, initial.get(&p)).clone()
     }
 
-    /// The current protection generation — the counter every protection or
-    /// content change bumps so software-TLB entries can detect staleness.
+    /// The node-wide protection-change counter: the monotone total of all
+    /// per-page generation bumps, so "was anything revoked?" checks keep a
+    /// single number to compare.
     pub fn prot_gen(&self) -> u64 {
-        self.data.prot_gen.load(Ordering::Relaxed)
+        self.data.prot_gen.total()
     }
 
-    /// The shared protection-generation counter itself, for wiring the
+    /// The shared per-page generation table itself, for wiring the
     /// application process's software TLB.
-    pub(crate) fn prot_gen_arc(&self) -> Arc<AtomicU64> {
+    pub(crate) fn prot_gen_arc(&self) -> Arc<GenTable> {
         Arc::clone(&self.data.prot_gen)
     }
 
-    /// Advance the protection generation, invalidating every software-TLB
-    /// entry of this node. Called by every method that changes a page's
-    /// protection or replaces/mutates its contents outside the TLB's view.
-    /// The test-only `tlb_break_generation_bumps` config flag turns this
-    /// into a no-op so the coherence oracle can be shown to catch the
-    /// resulting stale translations.
+    /// Advance page `p`'s read (mapping) generation, invalidating every
+    /// software-TLB entry for it (and for pages sharing its bucket).
+    /// Called when the page is invalidated or its contents are replaced
+    /// or mutated outside the TLB's view. The test-only
+    /// `tlb_break_generation_bumps` config flag turns this into a no-op so
+    /// the coherence oracle can be shown to catch the resulting stale
+    /// translations.
     #[inline]
-    pub(crate) fn bump_prot_gen(&self) {
+    pub(crate) fn bump_page_prot_gen(&self, p: PageId) {
         if self.cfg.tlb_break_generation_bumps {
             return;
         }
-        self.data.prot_gen.fetch_add(1, Ordering::Relaxed);
+        self.data.prot_gen.bump_page(p);
+    }
+
+    /// Advance page `p`'s write-permission generation, invalidating only
+    /// *writable* software-TLB entries for it. Called when writing is
+    /// revoked but the page stays valid and readable — a cached read-only
+    /// translation is still exactly right and survives. Gated by the same
+    /// fault-injection flag as [`NodeState::bump_page_prot_gen`].
+    #[inline]
+    pub(crate) fn bump_page_write_prot_gen(&self, p: PageId) {
+        if self.cfg.tlb_break_generation_bumps {
+            return;
+        }
+        self.data.prot_gen.bump_page_write(p);
     }
 
     /// Size the twin pool for a shared segment of `seg_pages` pages: a
     /// segment-wide fault burst (one twin per page) must recycle rather
     /// than allocate, so the cap tracks the segment size, and the pool is
-    /// prewarmed so even the first burst hits.
+    /// prewarmed so even the first burst hits. The prewarm is bounded two
+    /// ways — per node (`TWIN_POOL_PREWARM_MAX`) and cluster-wide
+    /// (`TWIN_POOL_PREWARM_BUDGET` split over `n` nodes) — so scaling
+    /// the node count does not scale the eagerly committed host memory
+    /// with it. The *cap* still tracks the full segment: buffers recycled
+    /// after the first burst are kept, so steady-state hits do not depend
+    /// on the prewarm bound.
     pub fn size_twin_pool(&mut self, seg_pages: usize) {
         self.data.twin_pool_cap = seg_pages.max(TWIN_POOL_DEFAULT_CAP);
-        let warm = seg_pages.min(TWIN_POOL_PREWARM_MAX);
+        let share = (TWIN_POOL_PREWARM_BUDGET / self.n.max(1)).max(TWIN_POOL_DEFAULT_CAP);
+        let warm = seg_pages.min(TWIN_POOL_PREWARM_MAX).min(share);
         let ps = self.cfg.page_size;
         while self.data.twin_pool.len() < warm {
             self.data.twin_pool.push(vec![0u8; ps].into_boxed_slice());
@@ -203,7 +319,7 @@ impl NodeState {
             let page = self.data.pages.get_mut(&p).unwrap();
             page.writable = false;
             self.data.dirty_pages.retain(|&q| q != p);
-            self.bump_prot_gen(); // write permission revoked
+            self.bump_page_write_prot_gen(p); // write permission revoked, still readable
         }
         let record = Arc::new(DiffRecord { owner: node, covers: ivxs.clone(), diff });
         for ivx in ivxs {
@@ -253,9 +369,21 @@ impl NodeState {
         cost
     }
 
-    /// The write notices this node's copy of `p` is missing.
+    /// The write notices this node's copy of `p` is missing. The returned
+    /// buffer comes from the node's scratch arena — hand it back with
+    /// [`NodeState::recycle_notices`] when done (dropping it instead is
+    /// only a missed reuse, never an error).
     pub(crate) fn needed_notices(&mut self, p: PageId) -> Vec<(NodeId, u32)> {
-        self.page_mut(p).missing_notices()
+        let mut buf = self.scratch.notices.take();
+        let page = &*self.page_mut(p);
+        buf.extend(page.notices.iter().copied().filter(|&(o, i)| !page.valid_at.covers(o, i)));
+        buf
+    }
+
+    /// Return a notice buffer from [`NodeState::needed_notices`] to the
+    /// scratch arena.
+    pub(crate) fn recycle_notices(&mut self, buf: Vec<(NodeId, u32)>) {
+        self.scratch.notices.give(buf);
     }
 
     /// Group the needed notices that are not already in the diff cache by
@@ -264,11 +392,12 @@ impl NodeState {
     pub(crate) fn fetch_plan(&mut self, p: PageId) -> HashMap<NodeId, Vec<u32>> {
         let needed = self.needed_notices(p);
         let mut plan: HashMap<NodeId, Vec<u32>> = HashMap::new();
-        for (owner, ivx) in needed {
+        for &(owner, ivx) in &needed {
             if !self.data.diffs.contains_key(&(p, owner, ivx)) {
                 plan.entry(owner).or_default().push(ivx);
             }
         }
+        self.recycle_notices(needed);
         plan
     }
 
@@ -278,7 +407,7 @@ impl NodeState {
     pub(crate) fn apply_cached_diffs(&mut self, p: PageId) -> Dur {
         let needed = self.needed_notices(p);
         // Collect the distinct records behind the needed notices.
-        let mut records: Vec<(u64, DiffEntry)> = Vec::new();
+        let mut records: Vec<(u64, DiffEntry)> = self.scratch.diff_batch.take();
         for &(owner, ivx) in &needed {
             let rec = self
                 .data
@@ -304,6 +433,7 @@ impl NodeState {
             let weight = self.con.intervals.get(owner, key_ivx).vc.weight();
             records.push((weight, rec));
         }
+        self.recycle_notices(needed);
         records
             .sort_by(|a, b| (a.0, a.1.owner, a.1.covers[0]).cmp(&(b.0, b.1.owner, b.1.covers[0])));
         let mut cost = Dur::ZERO;
@@ -342,7 +472,8 @@ impl NodeState {
         self.rse.valid_changed.insert(p);
         // The handler may have applied these diffs while the application
         // process was blocked elsewhere: its TLB must re-check validity.
-        self.bump_prot_gen();
+        self.bump_page_prot_gen(p);
+        self.scratch.diff_batch.give(records);
         cost
     }
 
@@ -387,7 +518,10 @@ impl NodeState {
     /// valid locally).
     pub(crate) fn can_complete(&mut self, p: PageId) -> bool {
         let needed = self.needed_notices(p);
-        needed.iter().all(|&(owner, ivx)| self.data.diffs.contains_key(&(p, owner, ivx)))
+        let complete =
+            needed.iter().all(|&(owner, ivx)| self.data.diffs.contains_key(&(p, owner, ivx)));
+        self.recycle_notices(needed);
+        complete
     }
 
     /// The bytes of page `p` as a local read would see them, or `None` if
@@ -446,8 +580,7 @@ mod tests {
         for (owner, ivx) in [(0u32, 1u32), (0, 2), (1, 1)] {
             let mut vcfix = Vc::zero(3);
             vcfix.set(owner as usize, ivx);
-            let rec =
-                IntervalRecord { owner: owner as usize, ivx, vc: vcfix.clone(), pages: vec![9] };
+            let rec = IntervalRecord::new(owner as usize, ivx, vcfix.clone(), vec![9]);
             st.apply_records(vec![rec], &vcfix);
         }
         // Cache one of them: plan must exclude it.
@@ -471,8 +604,8 @@ mod tests {
         vc01.set(0, 1);
         let mut vc11 = vc01.clone();
         vc11.set(1, 1); // node 1's interval knows node 0's
-        let r0 = IntervalRecord { owner: 0, ivx: 1, vc: vc01.clone(), pages: vec![4] };
-        let r1 = IntervalRecord { owner: 1, ivx: 1, vc: vc11.clone(), pages: vec![4] };
+        let r0 = IntervalRecord::new(0, 1, vc01.clone(), vec![4]);
+        let r1 = IntervalRecord::new(1, 1, vc11.clone(), vec![4]);
         st.apply_records(vec![r0, r1], &vc11);
         // Diffs: node 0 wrote 1, node 1 wrote 2 at the same offset.
         let base = vec![0u8; ps];

@@ -281,4 +281,122 @@ mod tests {
         timer.note_retry(|_| unreachable!());
         timer.note_retry(|max| format!("gave up after {max}"));
     }
+
+    /// The resend discipline `fetch_normal` composes out of [`RetryTimer`]
+    /// and [`classify_reply`], driven end to end in a scripted simulation:
+    ///
+    /// * back-to-back timeouts each resend with the **same** `req_id` as the
+    ///   original request (the PR-2 deadlock fix);
+    /// * the duplicate reply produced by a resend race is classified stale
+    ///   by a *later* fetch and absorbed without consuming retry budget;
+    /// * each timeout advances virtual time by exactly the configured wait,
+    ///   so event-queue restructuring that reordered the deadline wake
+    ///   against the late reply would surface here.
+    #[test]
+    fn back_to_back_timeouts_reuse_req_id_and_later_fetch_absorbs_the_duplicate() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Mutex as StdMutex;
+
+        use repseq_sim::{Sim, SimTime};
+
+        let cfg = DsmConfig {
+            rse_timeout: Dur::from_micros(100),
+            rse_max_retries: 5,
+            ..DsmConfig::default()
+        };
+        let seen_req_ids = Arc::new(StdMutex::new(Vec::<u64>::new()));
+        let stale_absorbed = Arc::new(AtomicU32::new(0));
+        let mut sim = Sim::<DsmMsg>::new();
+
+        // Pid 0: the faulting node's fetch loop, two fetch rounds.
+        let cfg_f = cfg.clone();
+        let stale_f = Arc::clone(&stale_absorbed);
+        sim.spawn("fetcher", move |ctx| {
+            let request = |ctx: &repseq_sim::Ctx<DsmMsg>, req_id: u64| {
+                let msg = DsmMsg::DiffRequest { page: 7, ivxs: vec![1], reply_to: 0, req_id };
+                ctx.send(1, msg, ctx.now());
+            };
+            let fetch = |req_id: u64| -> Result<(u32, SimTime), Stopped> {
+                let t0 = ctx.now();
+                request(&ctx, req_id);
+                let mut timer = RetryTimer::from_cfg(&cfg_f);
+                let mut resends = 0u32;
+                loop {
+                    let env = match timer.recv(&ctx, |r| format!("fetch gave up after {r}"))? {
+                        Some(env) => env,
+                        None => {
+                            // Unproductive round: resend, reusing req_id.
+                            resends += 1;
+                            request(&ctx, req_id);
+                            continue;
+                        }
+                    };
+                    match classify_reply(env.msg, 7, req_id) {
+                        ReplyClass::Matching(diffs) => {
+                            assert_eq!(diffs.len(), 1);
+                            break Ok((resends, env.at.max(t0)));
+                        }
+                        ReplyClass::Stale => {
+                            stale_f.fetch_add(1, Ordering::SeqCst);
+                        }
+                        ReplyClass::Other(m) => panic!("unexpected message {}", m.kind()),
+                    }
+                }
+            };
+            // Round A: the owner stays silent through two full timeouts.
+            let start = ctx.now();
+            let (resends_a, _) = fetch(1)?;
+            assert_eq!(resends_a, 2, "two back-to-back timeouts, two resends");
+            assert!(
+                ctx.now() >= start + cfg_f.rse_timeout * 2,
+                "each timeout must wait the configured interval"
+            );
+            // Round B: completes despite the round-A duplicate landing first.
+            let (resends_b, _) = fetch(2)?;
+            assert_eq!(resends_b, 0, "round B reply arrives before its deadline");
+            Ok(())
+        });
+
+        // Pid 1: a scripted owner. Ignores the first two requests (forcing
+        // the back-to-back timeouts), then answers the second resend twice —
+        // the duplicate is timed to land in the middle of fetch round B.
+        let seen = Arc::clone(&seen_req_ids);
+        sim.spawn_daemon("owner", move |ctx| {
+            let mut n_requests = 0u32;
+            while let Ok(env) = ctx.recv() {
+                let DsmMsg::DiffRequest { page, reply_to, req_id, .. } = env.msg else {
+                    panic!("owner expected only requests");
+                };
+                seen.lock().unwrap().push(req_id);
+                n_requests += 1;
+                match n_requests {
+                    1 | 2 => { /* silent: let the fetcher time out */ }
+                    3 => {
+                        // Reply to the second resend, plus the duplicate the
+                        // resend race produces; the duplicate arrives after
+                        // round A completed and round B began.
+                        ctx.send(reply_to, reply(page, req_id), ctx.now() + Dur::from_micros(10));
+                        ctx.send(reply_to, reply(page, req_id), ctx.now() + Dur::from_micros(30));
+                    }
+                    4 => {
+                        ctx.send(reply_to, reply(page, req_id), ctx.now() + Dur::from_micros(50));
+                    }
+                    n => panic!("unexpected request #{n}"),
+                }
+            }
+            Ok(())
+        });
+
+        sim.run().unwrap();
+        assert_eq!(
+            *seen_req_ids.lock().unwrap(),
+            vec![1, 1, 1, 2],
+            "resends must reuse the original req_id; the second fetch gets a fresh one"
+        );
+        assert_eq!(
+            stale_absorbed.load(Ordering::SeqCst),
+            1,
+            "round B must absorb exactly the one stale duplicate from round A"
+        );
+    }
 }

@@ -165,12 +165,12 @@ pub(crate) fn handler_main(
             }
 
             // ---- replicated-section multicast protocol ----
-            DsmMsg::McastRequest { page, wanted, requester } => {
+            DsmMsg::McastRequest { page, wanted, requester, epoch } => {
                 debug_assert_eq!(node, 0, "multicast requests are serialized at the master");
                 let fwd = {
                     let mut s = st.lock();
                     ctx.charge(s.cfg.service_overhead);
-                    chain::master_enqueue(&mut s, page, wanted, requester)
+                    chain::master_enqueue(&mut s, page, wanted, requester, epoch)
                 };
                 if let Some(msg) = fwd {
                     chain::multicast_to_handlers(
@@ -204,18 +204,30 @@ pub(crate) fn handler_main(
                 handle_chain_step(&ctx, &nic, &st, &topo, None, turn, req_seq);
             }
             DsmMsg::RecoveryRequest { page, ivxs, requester: _, reply_mcast } => {
-                let (msg, cost) = {
+                let served = {
                     let mut s = st.lock();
                     ctx.charge(s.cfg.service_overhead);
-                    let (cost, diffs) = s.serve_diff_request(page, &ivxs);
-                    (
-                        DsmMsg::McastDiffReply { page, diffs, turn: node, req_seq: chain::OOB_SEQ },
-                        cost,
-                    )
+                    // One multicast reply serves every concurrent
+                    // requester; see `oob_reply_due` for the window rule.
+                    let window = s.cfg.rse_timeout / 2;
+                    if s.oob_reply_due(page, &ivxs, ctx.now(), window) {
+                        let (cost, diffs) = s.serve_diff_request(page, &ivxs);
+                        let reply = DsmMsg::McastDiffReply {
+                            page,
+                            diffs,
+                            turn: node,
+                            req_seq: chain::OOB_SEQ,
+                        };
+                        Some((reply, cost))
+                    } else {
+                        None
+                    }
                 };
-                ctx.charge(cost);
                 debug_assert!(reply_mcast, "recovery replies are always multicast (§5.4.2)");
-                chain::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::DiffReply, msg);
+                if let Some((msg, cost)) = served {
+                    ctx.charge(cost);
+                    chain::multicast_to_handlers(&nic, &ctx, &topo, MsgClass::DiffReply, msg);
+                }
             }
 
             // ---- hand-inserted broadcast (ablation / MasterPush) ----
@@ -244,7 +256,7 @@ pub(crate) fn handler_main(
                         meta.notices.iter().all(|&(owner, ivx)| meta.valid_at.covers(owner, ivx));
                     s.rse.valid_changed.insert(page);
                     // Content changed underneath any cached translation.
-                    s.bump_prot_gen();
+                    s.bump_page_prot_gen(page);
                 }
             }
 

@@ -7,6 +7,8 @@
 //! messages; each node keeps every record it has learned in an
 //! [`IntervalStore`].
 
+use std::sync::Arc;
+
 use repseq_stats::NodeId;
 
 use crate::vc::Vc;
@@ -14,24 +16,56 @@ use crate::vc::Vc;
 /// Identifier of a shared page.
 pub type PageId = u32;
 
+/// The immutable payload of one interval: its vector timestamp and the
+/// pages it modified (the write notices). Built exactly once, at the
+/// interval close, and shared by reference ever after — the store keeps
+/// one `Arc`, and every record shipped at a barrier, lock grant or fork
+/// clones the `Arc`, not the vectors. A barrier on an `n`-node cluster
+/// fans the same records out to `n - 1` clients; without the sharing that
+/// is `O(n²)` deep copies of timestamp + page-list per step.
+#[derive(Debug, PartialEq)]
+pub struct IntervalData {
+    /// The interval's vector timestamp.
+    pub vc: Vc,
+    /// Pages modified during the interval (write notices), ascending.
+    pub pages: Vec<PageId>,
+}
+
 /// A write-notice record for one interval, as shipped in synchronization
-/// messages.
+/// messages. Cloning a record is cheap (an `Arc` bump): fan-out paths
+/// rely on that.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IntervalRecord {
     /// The node whose interval this is.
     pub owner: NodeId,
     /// The interval index (1-based; entry `owner` of `vc` equals this).
     pub ivx: u32,
-    /// The interval's vector timestamp.
-    pub vc: Vc,
-    /// Pages modified during the interval (write notices).
-    pub pages: Vec<PageId>,
+    /// The shared payload (timestamp + write notices).
+    pub data: Arc<IntervalData>,
 }
 
 impl IntervalRecord {
-    /// Approximate wire size in bytes.
+    /// Build a record, wrapping the payload for sharing.
+    pub fn new(owner: NodeId, ivx: u32, vc: Vc, pages: Vec<PageId>) -> IntervalRecord {
+        IntervalRecord { owner, ivx, data: Arc::new(IntervalData { vc, pages }) }
+    }
+
+    /// The interval's vector timestamp.
+    #[inline]
+    pub fn vc(&self) -> &Vc {
+        &self.data.vc
+    }
+
+    /// Pages modified during the interval (write notices).
+    #[inline]
+    pub fn pages(&self) -> &[PageId] {
+        &self.data.pages
+    }
+
+    /// Approximate wire size in bytes (the wire carries the payload, not
+    /// the host-side sharing).
     pub fn wire_size(&self) -> u64 {
-        8 + self.vc.wire_size() + 4 * self.pages.len() as u64
+        8 + self.data.vc.wire_size() + 4 * self.data.pages.len() as u64
     }
 }
 
@@ -40,15 +74,9 @@ impl IntervalRecord {
 pub struct IntervalStore {
     /// `per_owner[q][i]` is interval `i + 1` of node `q`. Intervals are
     /// always learned in order (synchronization messages carry every
-    /// missing predecessor), so a dense vector suffices.
-    per_owner: Vec<Vec<IntervalMeta>>,
-}
-
-/// Stored form of an interval.
-#[derive(Debug, Clone)]
-pub struct IntervalMeta {
-    pub vc: Vc,
-    pub pages: Vec<PageId>,
+    /// missing predecessor), so a dense vector suffices. Entries share
+    /// their payload with every in-flight record of the same interval.
+    per_owner: Vec<Vec<Arc<IntervalData>>>,
 }
 
 impl IntervalStore {
@@ -77,13 +105,13 @@ impl IntervalStore {
             rec.owner,
             have + 1
         );
-        debug_assert_eq!(rec.vc.get(rec.owner), rec.ivx, "vc[owner] must equal the index");
-        self.per_owner[rec.owner].push(IntervalMeta { vc: rec.vc, pages: rec.pages });
+        debug_assert_eq!(rec.data.vc.get(rec.owner), rec.ivx, "vc[owner] must equal the index");
+        self.per_owner[rec.owner].push(rec.data);
         true
     }
 
     /// Look up an interval (must be known).
-    pub fn get(&self, owner: NodeId, ivx: u32) -> &IntervalMeta {
+    pub fn get(&self, owner: NodeId, ivx: u32) -> &IntervalData {
         &self.per_owner[owner][(ivx - 1) as usize]
     }
 
@@ -96,13 +124,8 @@ impl IntervalStore {
         let mut out = Vec::new();
         for (owner, list) in self.per_owner.iter().enumerate() {
             let from = their_vc.get(owner);
-            for (i, meta) in list.iter().enumerate().skip(from as usize) {
-                out.push(IntervalRecord {
-                    owner,
-                    ivx: i as u32 + 1,
-                    vc: meta.vc.clone(),
-                    pages: meta.pages.clone(),
-                });
+            for (i, data) in list.iter().enumerate().skip(from as usize) {
+                out.push(IntervalRecord { owner, ivx: i as u32 + 1, data: Arc::clone(data) });
             }
         }
         out
@@ -116,7 +139,7 @@ mod tests {
     fn rec(owner: NodeId, ivx: u32, n: usize, pages: Vec<PageId>) -> IntervalRecord {
         let mut vc = Vc::zero(n);
         vc.set(owner, ivx);
-        IntervalRecord { owner, ivx, vc, pages }
+        IntervalRecord::new(owner, ivx, vc, pages)
     }
 
     #[test]
@@ -168,5 +191,22 @@ mod tests {
     fn wire_size_counts_pages_and_vc() {
         let r = rec(0, 1, 4, vec![1, 2, 3]);
         assert_eq!(r.wire_size(), 8 + 16 + 12);
+    }
+
+    #[test]
+    fn fanned_out_records_share_the_stored_payload() {
+        // A barrier re-ships the same interval to every client; each copy
+        // must alias the store's payload, not deep-copy it.
+        let mut s = IntervalStore::new(2);
+        s.insert(rec(0, 1, 2, vec![1, 2, 3]));
+        let zeros = Vc::zero(2);
+        let a = s.records_unknown_to(&zeros);
+        let b = s.records_unknown_to(&zeros);
+        assert!(Arc::ptr_eq(&a[0].data, &b[0].data));
+        let stored = s.get(0, 1);
+        assert_eq!(stored.pages, a[0].pages());
+        // Cloning a record is an Arc bump too.
+        let c = a[0].clone();
+        assert!(Arc::ptr_eq(&c.data, &a[0].data));
     }
 }

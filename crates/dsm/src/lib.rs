@@ -36,6 +36,7 @@
 // lint keeps `pub` from silently outliving its re-export.
 #![warn(unreachable_pub)]
 
+mod arena;
 mod cluster;
 mod config;
 mod consistency;
@@ -60,7 +61,7 @@ pub use cluster::{AppFn, Cluster, ClusterConfig, LaunchOutcome};
 pub use config::{DsmConfig, FlowControl, SeqExecMode};
 pub use diff::{Diff, DiffError, DiffRun};
 pub use exec::{ParkEvent, Task, TaskFn};
-pub use interval::{IntervalRecord, IntervalStore, PageId};
+pub use interval::{IntervalData, IntervalRecord, IntervalStore, PageId};
 pub use msg::{DsmMsg, TaskPayload};
 pub use page::{DiffEntry, PageBuf, PageMeta};
 pub use pod::Pod;

@@ -60,10 +60,16 @@ pub enum DsmMsg {
     ValidNoticeReply { from: NodeId, delta: Vec<(PageId, Vc)> },
     /// Master → slave app, attached to the replicated fork: everyone's
     /// valid-notice deltas, so every node elects identical requesters.
-    ValidNoticeTable { deltas: Vec<(NodeId, PageId, Vc)> },
+    /// Shared, not owned: the table is multicast to every node, and at
+    /// hundreds of nodes a per-destination deep copy of n·pages vector
+    /// clocks is gigabytes of host memcpy per section.
+    ValidNoticeTable { deltas: Arc<[(NodeId, PageId, Vc)]> },
     /// Elected requester → master handler: request diffs for a page on
     /// behalf of every faulting node (§5.4.2, serialized at the master).
-    McastRequest { page: PageId, wanted: Vec<(NodeId, u32)>, requester: NodeId },
+    /// `epoch` is the requester's replicated-section count, so the master
+    /// can tell a request racing ahead of its own section entry (accept)
+    /// from one whose section already ended (drop — a zombie chain).
+    McastRequest { page: PageId, wanted: Vec<(NodeId, u32)>, requester: NodeId, epoch: u64 },
     /// Master handler → all handlers (hub multicast): the forwarded request
     /// that also alerts every node that diffs are coming.
     McastForward { page: PageId, wanted: Vec<(NodeId, u32)>, requester: NodeId, req_seq: u64 },
@@ -116,7 +122,7 @@ impl DsmMsg {
             DsmMsg::ValidNoticeTable { deltas } => {
                 8 + deltas.iter().map(|(_, _, vc)| 8 + vc.wire_size()).sum::<u64>()
             }
-            DsmMsg::McastRequest { wanted, .. } => 16 + 8 * wanted.len() as u64,
+            DsmMsg::McastRequest { wanted, .. } => 24 + 8 * wanted.len() as u64,
             DsmMsg::McastForward { wanted, .. } => 24 + 8 * wanted.len() as u64,
             DsmMsg::McastDiffReply { diffs, .. } => 24 + diffs_size(diffs),
             DsmMsg::McastNullAck { .. } => 24,

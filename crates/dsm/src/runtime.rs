@@ -6,7 +6,6 @@
 //! (sequential-section execution) — as further `impl DsmNode` blocks.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -14,6 +13,7 @@ use repseq_net::Nic;
 use repseq_sim::{Ctx, Dur, Pid, Stopped};
 use repseq_stats::{host, NodeId, StatsRef};
 
+use crate::dataplane::GenTable;
 use crate::interval::PageId;
 use crate::msg::DsmMsg;
 use crate::page::PageBuf;
@@ -22,39 +22,85 @@ use crate::race::{AccessKind, AccessTap, RaceSink, SyncEdge};
 use crate::state::NodeState;
 use crate::strategy::RseProbe;
 
-/// Software-TLB capacity. Direct-mapped on the low page bits: a working
-/// set under 64 pages (every kernel phase in the apps) never conflicts.
-const TLB_ENTRIES: usize = 64;
+/// Software-TLB geometry: set-associative on the low page bits.
+/// 128 sets × 4 ways = 512 cached translations — large kernel-phase
+/// working sets fit, and the ways absorb pages whose strides alias the
+/// same set (the old direct-mapped table thrashed on those).
+const TLB_SETS: usize = 128;
+const TLB_WAYS: usize = 4;
 
 /// One cached translation: page → contents handle + write permission,
-/// stamped with the protection generation it was filled under.
+/// stamped with the page's protection generations it was filled under.
 struct TlbEntry {
     page: PageId,
-    /// Value of the node's protection generation when this entry was
-    /// filled. Any protection change bumps the generation, so a stale
-    /// entry fails the equality check and falls back to the locked walk.
+    /// The page's read (mapping) generation at fill. Invalidation or an
+    /// out-of-band content change bumps it, so a stale entry fails the
+    /// equality check and falls back to the locked walk.
     gen: u64,
+    /// The page's write-permission generation at fill. A write-only
+    /// revocation (interval close, §5.3 write-protect) bumps it, retiring
+    /// this entry's *write* permission while reads keep hitting.
+    wgen: u64,
     writable: bool,
     buf: PageBuf,
 }
 
-/// The per-application-process software TLB: a direct-mapped cache over
-/// the node's page table, valid only while the protection generation is
-/// unchanged. Purely a host-time optimization — lookups model no cost and
-/// hit only in states where the slow path would also charge nothing, so
-/// virtual time and message counts are bit-identical with the TLB off.
+/// The per-application-process software TLB: a set-associative cache over
+/// the node's page table, each entry valid only while its page's
+/// protection generation is unchanged. Purely a host-time optimization —
+/// lookups model no cost and hit only in states where the slow path would
+/// also charge nothing, so virtual time and message counts are
+/// bit-identical with the TLB off.
 pub(crate) struct Tlb {
-    slots: Vec<Option<TlbEntry>>,
+    sets: Vec<[Option<TlbEntry>; TLB_WAYS]>,
+    /// Per-set round-robin victim cursor. Deterministic: replacement
+    /// depends only on the access sequence, never on host state.
+    rr: Vec<u8>,
 }
 
 impl Tlb {
     fn new() -> Tlb {
-        Tlb { slots: (0..TLB_ENTRIES).map(|_| None).collect() }
+        Tlb {
+            sets: (0..TLB_SETS).map(|_| std::array::from_fn(|_| None)).collect(),
+            rr: vec![0; TLB_SETS],
+        }
     }
 
     #[inline]
-    fn slot(p: PageId) -> usize {
-        p as usize & (TLB_ENTRIES - 1)
+    fn set(p: PageId) -> usize {
+        p as usize & (TLB_SETS - 1)
+    }
+
+    /// The cached translation for `p`, if present and stamped with the
+    /// page's current read (mapping) generation `gen`. Callers that need
+    /// write permission additionally check `writable` and the entry's
+    /// write-generation stamp.
+    #[inline]
+    fn lookup(&self, p: PageId, gen: u64) -> Option<&TlbEntry> {
+        self.sets[Self::set(p)].iter().flatten().find(|e| e.page == p && e.gen == gen)
+    }
+
+    /// Install a translation. Way choice is deterministic: the way already
+    /// holding `p`, else an invalid way, else a way whose entry went stale
+    /// under `gens`, else the set's round-robin victim.
+    fn insert(&mut self, entry: TlbEntry, gens: &GenTable) {
+        let s = Self::set(entry.page);
+        let way = {
+            let set = &self.sets[s];
+            set.iter()
+                .position(|e| e.as_ref().is_some_and(|e| e.page == entry.page))
+                .or_else(|| set.iter().position(|e| e.is_none()))
+                .or_else(|| {
+                    set.iter()
+                        .position(|e| e.as_ref().is_some_and(|e| e.gen != gens.page_read(e.page)))
+                })
+        };
+        let way = way.unwrap_or_else(|| {
+            let w = self.rr[s] as usize % TLB_WAYS;
+            self.rr[s] = self.rr[s].wrapping_add(1);
+            w
+        });
+        self.sets[s][way] = Some(entry);
     }
 }
 
@@ -87,9 +133,10 @@ pub struct DsmNode {
     pub(crate) st: Arc<Mutex<NodeState>>,
     pub(crate) topo: Arc<Topology>,
     pub(crate) page_size: usize,
-    /// This node's protection generation (shared with [`NodeState`]); one
-    /// relaxed load validates a TLB entry without taking the mutex.
-    pub(crate) prot_gen: Arc<AtomicU64>,
+    /// This node's per-page protection generations (shared with
+    /// [`NodeState`]); one relaxed load validates a TLB entry without
+    /// taking the mutex.
+    pub(crate) prot_gen: Arc<GenTable>,
     /// The software TLB. `RefCell`: the application process is the only
     /// borrower, and no borrow is held across a yielding call.
     pub(crate) tlb: RefCell<Tlb>,
@@ -225,14 +272,14 @@ impl DsmNode {
         if !self.tlb_enabled {
             return None;
         }
-        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let gen = self.prot_gen.page_read(p);
         let tlb = self.tlb.borrow();
-        match &tlb.slots[Tlb::slot(p)] {
-            Some(e) if e.page == p && e.gen == gen => {
+        match tlb.lookup(p, gen) {
+            Some(e) => {
                 host::tlb_hit();
                 Some(f(e.buf.slice()))
             }
-            _ => None,
+            None => None,
         }
     }
 
@@ -243,10 +290,10 @@ impl DsmNode {
         if !self.tlb_enabled {
             return None;
         }
-        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let gen = self.prot_gen.page_read(p);
         let tlb = self.tlb.borrow();
-        match &tlb.slots[Tlb::slot(p)] {
-            Some(e) if e.page == p && e.gen == gen && e.writable => {
+        match tlb.lookup(p, gen) {
+            Some(e) if e.writable && e.wgen == self.prot_gen.page_write(p) => {
                 host::tlb_hit();
                 Some(f(e.buf.slice_mut()))
             }
@@ -261,10 +308,10 @@ impl DsmNode {
         if !self.tlb_enabled {
             return None;
         }
-        let gen = self.prot_gen.load(Ordering::Relaxed);
+        let gen = self.prot_gen.page_read(p);
         let tlb = self.tlb.borrow();
-        match &tlb.slots[Tlb::slot(p)] {
-            Some(e) if e.page == p && e.gen == gen && (e.writable || !write) => {
+        match tlb.lookup(p, gen) {
+            Some(e) if !write || (e.writable && e.wgen == self.prot_gen.page_write(p)) => {
                 host::tlb_hit();
                 Some(e.buf.clone())
             }
@@ -278,9 +325,11 @@ impl DsmNode {
         if !self.tlb_enabled {
             return;
         }
-        let gen = self.prot_gen.load(Ordering::Relaxed);
-        self.tlb.borrow_mut().slots[Tlb::slot(p)] =
-            Some(TlbEntry { page: p, gen, writable, buf: buf.clone() });
+        let gen = self.prot_gen.page_read(p);
+        let wgen = self.prot_gen.page_write(p);
+        self.tlb
+            .borrow_mut()
+            .insert(TlbEntry { page: p, gen, wgen, writable, buf: buf.clone() }, &self.prot_gen);
     }
 
     /// Resolve page `p` for reading: fault until valid, fill the TLB,

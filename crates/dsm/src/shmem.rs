@@ -212,6 +212,12 @@ impl<T: Pod> ShArray<T> {
                 let count = ((ps - in_page) / T::SIZE).min(range.end - i);
                 let p = (a / ps as u64) as PageId;
                 let buf = node.page_for_read(p)?;
+                if node.tlb_enabled && count > 1 {
+                    // The run serves `count` element accesses from the one
+                    // translation just resolved; each after the first skips
+                    // the walk exactly like a TLB hit.
+                    repseq_stats::host::tlb_hits_bulk(count as u64 - 1);
+                }
                 let run = PageSlice {
                     buf,
                     byte_off: in_page,
@@ -272,6 +278,11 @@ impl<T: Pod> ShArray<T> {
                 let count = ((ps - in_page) / T::SIZE).min(range.end - i);
                 let p = (a / ps as u64) as PageId;
                 let buf = node.page_for_write(p)?;
+                if node.tlb_enabled && count > 1 {
+                    // As in `with_slices`: the guard amortizes one walk over
+                    // the whole run.
+                    repseq_stats::host::tlb_hits_bulk(count as u64 - 1);
+                }
                 let mut run = PageSliceMut {
                     buf,
                     byte_off: in_page,

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use repseq_stats::NodeId;
 
+use crate::arena::ScratchArena;
 use crate::config::DsmConfig;
 use crate::consistency::Consistency;
 use crate::dataplane::DataPlane;
@@ -50,6 +51,8 @@ pub struct NodeState {
     pub(crate) exec: ExecState,
     /// Demand-fetch request ids.
     pub(crate) fetch: FetchState,
+    /// Recycled scratch buffers for the fault hot path.
+    pub(crate) scratch: ScratchArena,
 }
 
 impl NodeState {
@@ -69,6 +72,7 @@ impl NodeState {
             sync: SyncState::new(),
             exec: ExecState::new(n),
             fetch: FetchState::new(),
+            scratch: ScratchArena::default(),
         }
     }
 }

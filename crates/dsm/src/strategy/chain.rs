@@ -23,11 +23,18 @@ pub(crate) fn master_enqueue(
     page: PageId,
     wanted: Vec<(NodeId, u32)>,
     requester: NodeId,
+    epoch: u64,
 ) -> Option<DsmMsg> {
-    if !st.rse.active {
+    let current = epoch == st.rse.section_epoch && st.rse.active;
+    let ahead = epoch > st.rse.section_epoch;
+    if !current && !ahead {
         // The section this request belongs to already ended: its requester
         // completed via timeout recovery while the request was in flight.
         // Forwarding it now would start a zombie chain in a later section.
+        // (A request racing *ahead* of the master — sent by an early slave
+        // before the master's own fork loop returned and entered the
+        // section, routine at hundreds of nodes — is NOT a zombie: it is
+        // queued and forwarded like any other.)
         return None;
     }
     if st.cfg.flow_control == crate::config::FlowControl::Concurrent {
@@ -122,6 +129,10 @@ pub(crate) fn advance_chain(st: &mut NodeState, req_seq: u64, turn: NodeId) -> b
         // it: the chain state must not move backwards.
         return false;
     }
+    // An accepted frame: the chain is alive. The application's timeout
+    // path watches this counter to avoid firing recovery at a chain that
+    // is merely slow (see `RseState::chain_turns`).
+    st.rse.chain_turns += 1;
     let holes = (turn - chain.next_turn) as u64;
     if holes > 0 {
         // Turns [next_turn, turn) were lost on this node's link. Count

@@ -59,7 +59,9 @@ impl DsmNode {
                     }
                     pending -= 1;
                 }
-                DsmMsg::WakePage { .. } => {}
+                // Stale wakeups and duplicate diff replies (resends whose
+                // originals won the race) are harmless stragglers.
+                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
                 other => panic!("master: unexpected {} during valid-notice exchange", other.kind()),
             }
         }
@@ -70,7 +72,7 @@ impl DsmNode {
         //    ONE multicast over the hub to the protocol handlers. The
         //    master blocks until delivery — the forks go over the switch
         //    and must not overtake the table.
-        let msg = DsmMsg::ValidNoticeTable { deltas: table };
+        let msg = DsmMsg::ValidNoticeTable { deltas: table.into() };
         let size = msg.wire_size();
         let dsts: Vec<_> =
             self.topo.all_handlers().into_iter().filter(|&(node, _)| node != 0).collect();
@@ -127,7 +129,7 @@ impl DsmNode {
             let env = self.ctx.recv()?;
             match env.msg {
                 DsmMsg::SeqDone { .. } => pending -= 1,
-                DsmMsg::WakePage { .. } => {}
+                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
                 other => panic!("master: unexpected {} ending replicated section", other.kind()),
             }
         }
@@ -156,7 +158,7 @@ impl DsmNode {
             let env = self.ctx.recv()?;
             match env.msg {
                 DsmMsg::SeqGo => break,
-                DsmMsg::WakePage { .. } => {}
+                DsmMsg::WakePage { .. } | DsmMsg::DiffReply { .. } => {}
                 other => panic!("node {node}: unexpected {} awaiting SeqGo", other.kind()),
             }
         }
@@ -174,7 +176,7 @@ impl DsmNode {
 pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped> {
     let me = node.node();
     let t0 = node.ctx().now();
-    let (send_request, wanted) = {
+    let (send_request, wanted, epoch) = {
         let mut st = node.st.lock();
         if st.can_complete(p) {
             // The diffs already arrived via an earlier multicast.
@@ -189,23 +191,37 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
             st.rse.requested.insert(p);
         }
         st.rse.waiting_page = Some(p);
-        (send, wanted)
+        let epoch = st.rse.section_epoch;
+        (send, wanted, epoch)
     };
     if send_request {
-        let msg = DsmMsg::McastRequest { page: p, wanted, requester: me };
-        let size = msg.wire_size();
+        let msg = DsmMsg::McastRequest { page: p, wanted, requester: me, epoch };
         // Serialized at the master (§5.4.2): a point-to-point message to
-        // the master, which multicasts the forwarded request.
-        node.nic.unicast(
-            node.ctx(),
-            0,
-            node.topo.handler_pids[0],
-            MsgClass::DiffRequest,
-            size,
-            msg,
-        );
+        // the master, which multicasts the forwarded request. When the
+        // elected requester IS the master node, the request is an
+        // intra-node signal to its own handler and is delivered locally,
+        // like every other same-node control message (locks, barriers,
+        // wakeups). Routing it through the NIC would queue this tiny
+        // frame on the master's transmit link behind the O(n) fork
+        // frames of the section entry — at ~200 nodes that is seconds of
+        // virtual delay, during which every other node times out and
+        // fires §5.4.2 recovery at full strength.
+        if me == 0 {
+            node.nic.local(node.ctx(), node.topo.handler_pids[0], msg);
+        } else {
+            let size = msg.wire_size();
+            node.nic.unicast(
+                node.ctx(),
+                0,
+                node.topo.handler_pids[0],
+                MsgClass::DiffRequest,
+                size,
+                msg,
+            );
+        }
     }
     let mut timer = RetryTimer::from_cfg(&node.st.lock().cfg);
+    let mut seen_turns = node.st.lock().rse.chain_turns;
     loop {
         match node.ctx().recv_timeout(timer.timeout())? {
             Some(env) => match env.msg {
@@ -214,12 +230,16 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
                         break;
                     }
                     // An out-of-band recovery reply arrived but our copy
-                    // still cannot complete (the reply covered someone
-                    // else's missing diffs, or part of ours was lost):
-                    // re-evaluate and re-request what is still missing now,
-                    // instead of sleeping out another full `rse_timeout`.
-                    timer.note_retry(|max| recovery_diagnostic(node, p, me, max));
-                    send_recovery_requests(node, p, me);
+                    // still cannot complete — it covered someone else's
+                    // missing diffs, or only part of ours. Recovery replies
+                    // are multicast, so at large node counts every waiting
+                    // node is woken by every OTHER requester's recovery
+                    // round; charging the retry budget (or re-sending our
+                    // own recovery requests) here turns the budget into a
+                    // wakeup counter and the recovery path into an O(n²)
+                    // request storm. Just keep waiting: our own requests
+                    // are already in flight, and the §5.4.2 timeout below
+                    // re-sends them if they are genuinely lost.
                 }
                 DsmMsg::WakePage { page } => {
                     debug_assert_ne!(page, p); // handled above
@@ -244,6 +264,16 @@ pub(crate) fn fetch_replicated(node: &DsmNode, p: PageId) -> Result<(), Stopped>
                 // sending nothing.
                 if try_complete(node, p) {
                     break;
+                }
+                // A slow chain is not a dead chain: if our handler accepted
+                // new chain turns since the last check, the serialized reply
+                // machinery is still delivering — which at hundreds of nodes
+                // routinely takes longer than `rse_timeout` even on a
+                // lossless network. Recovery is for chains that went silent.
+                let turns = node.st.lock().rse.chain_turns;
+                if turns != seen_turns {
+                    seen_turns = turns;
+                    continue;
                 }
                 timer.note_retry(|max| recovery_diagnostic(node, p, me, max));
                 send_recovery_requests(node, p, me);

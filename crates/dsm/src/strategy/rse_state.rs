@@ -5,6 +5,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use repseq_sim::{Dur, SimTime};
 use repseq_stats::NodeId;
 
 use crate::dataplane::pool_recycle;
@@ -97,9 +98,36 @@ pub(crate) struct RseState {
     /// torture harness can tell whether a schedule exercised the gap path.
     pub(crate) chain_holes: u64,
     /// §5.4.2 recovery rounds this node's application initiated (timeouts
-    /// or unproductive out-of-band wakeups that re-requested missing
-    /// diffs); monotone over the run, likewise for harness assertions.
+    /// that re-requested missing diffs); monotone over the run, likewise
+    /// for harness assertions.
     pub(crate) recovery_rounds: u64,
+    /// Total reply-chain turns this node's handler has observed (accepted
+    /// frames of any chain, any page); monotone. The application's
+    /// timeout path reads it to distinguish a *slow* chain (turns still
+    /// advancing — keep waiting) from a *dead* one (counter static —
+    /// trigger §5.4.2 recovery). At hundreds of nodes a serialized chain
+    /// legitimately outlives `rse_timeout`, and firing n simultaneous
+    /// recovery rounds there is an O(n²) message storm.
+    pub(crate) chain_turns: u64,
+    /// Replicated sections this node has entered (monotone; identical on
+    /// every node, since every node executes every section). Stamped into
+    /// `McastRequest` so the master can order a request against its own
+    /// section entry: at large node counts early slaves fault — and elect
+    /// requesters — before the master's fork loop has even returned, and
+    /// those requests must be queued, not dropped as zombies.
+    pub(crate) section_epoch: u64,
+    /// Owner side (§5.4.2 recovery): for each page, the time of the last
+    /// out-of-band reply this handler multicast, and the union of the
+    /// interval indices those replies served. Recovery replies go to
+    /// every handler, so one reply serves every concurrent requester;
+    /// when a delayed request or chain makes all ~n waiters time out at
+    /// once, this memory lets the owner answer the first request and
+    /// suppress the other n-1 identical ones (see the handler's
+    /// `RecoveryRequest` arm) instead of multicasting n copies — the
+    /// flow-control improvement §8 of the paper calls for. Cleared at
+    /// section entry; bounded by the timeout window so lost replies are
+    /// still re-served on the requester's next retry.
+    pub(crate) oob_replies: HashMap<PageId, (SimTime, Vec<u32>)>,
     /// Master only (§5.4.2): queued forwarded requests ...
     pub(crate) mcast_queue: VecDeque<QueuedRequest>,
     /// ... and the sequence number of the one in flight, if any.
@@ -120,6 +148,9 @@ impl RseState {
             chains: HashMap::new(),
             chain_holes: 0,
             recovery_rounds: 0,
+            chain_turns: 0,
+            section_epoch: 0,
+            oob_replies: HashMap::new(),
             mcast_queue: VecDeque::new(),
             mcast_inflight: None,
             mcast_next_seq: 0,
@@ -134,19 +165,24 @@ impl NodeState {
     pub fn enter_replicated(&mut self) {
         assert!(!self.rse.active, "nested replicated sections are not supported");
         self.rse.active = true;
+        self.rse.section_epoch += 1;
         self.rse.entry_vc = self.con.vc.clone();
         self.rse.dirty.clear();
         self.rse.requested.clear();
+        // Replies multicast in an earlier section may not cover the diffs
+        // this section's faults will ask for.
+        self.rse.oob_replies.clear();
         for &p in &self.data.dirty_pages.clone() {
             let page = self.page_mut(p);
             debug_assert!(page.twin.is_some());
             page.writable = false;
             page.rse_protected = true;
+            // §5.3 write-protect: a TLB entry caching write permission for
+            // this dirty page is now stale — the first write inside the
+            // section must fault so the pre-section diff gets created.
+            // Read-only entries stay right: the page remains valid.
+            self.bump_page_write_prot_gen(p);
         }
-        // §5.3 write-protect: TLB entries caching write permission for the
-        // dirty pages are now stale — the first write inside the section
-        // must fault so the pre-section diff gets created.
-        self.bump_prot_gen();
     }
 
     /// Leave a replicated section: unprotect the dirty pages that were
@@ -178,6 +214,9 @@ impl NodeState {
             page.valid = true;
             page.valid_at = entry_vc.clone();
             self.rse.valid_changed.insert(p);
+            // Section retirement re-protected the page written in it; the
+            // retired copy stays valid, so reads may keep their entries.
+            self.bump_page_write_prot_gen(p);
         }
         self.rse.waiting_page = None;
         self.rse.requested.clear();
@@ -190,8 +229,38 @@ impl NodeState {
         self.rse.chains.clear();
         self.rse.mcast_queue.clear();
         self.rse.mcast_inflight = None;
-        // Section retirement re-protected the pages written in it.
-        self.bump_prot_gen();
+    }
+
+    /// Owner side of §5.4.2 recovery: must this request be answered with
+    /// a fresh out-of-band multicast? Replies go to every handler, so a
+    /// reply covering the same interval indices multicast within the
+    /// last `window` already served this requester too — answering each
+    /// of the ~n simultaneous timeouts individually is an O(n²) reply
+    /// storm (the flow-control problem §8 of the paper points at).
+    /// Records the reply (time, union of served indices) when it answers
+    /// true. A requester whose copy of the recorded reply was lost on
+    /// its link retries a full `rse_timeout` later — outside any
+    /// `window <= rse_timeout`, so it is always re-served.
+    pub(crate) fn oob_reply_due(
+        &mut self,
+        page: PageId,
+        ivxs: &[u32],
+        now: SimTime,
+        window: Dur,
+    ) -> bool {
+        if let Some((at, served)) = self.rse.oob_replies.get(&page) {
+            if now - *at <= window && ivxs.iter().all(|i| served.contains(i)) {
+                return false;
+            }
+        }
+        let entry = self.rse.oob_replies.entry(page).or_default();
+        entry.0 = now;
+        for &i in ivxs {
+            if !entry.1.contains(&i) {
+                entry.1.push(i);
+            }
+        }
+        true
     }
 
     /// This node's valid-notice delta since the last exchange (§5.4.1).
@@ -292,8 +361,6 @@ impl NodeState {
 
 #[cfg(test)]
 mod tests {
-    use std::sync::atomic::Ordering;
-
     use repseq_stats::NodeId;
 
     use super::*;
@@ -330,13 +397,10 @@ mod tests {
             page.writable = true;
             page.rse_dirty = true;
         }
-        let gen_before = st.data.prot_gen.load(Ordering::Relaxed);
+        let gen_before = st.prot_gen();
         st.rse.dirty.push(8);
         st.exit_replicated();
-        assert!(
-            st.data.prot_gen.load(Ordering::Relaxed) > gen_before,
-            "retiring replicated writes must invalidate the TLB"
-        );
+        assert!(st.prot_gen() > gen_before, "retiring replicated writes must invalidate the TLB");
         let entry_vc = st.rse.entry_vc.clone();
         let page = st.page_mut(8);
         assert!(page.valid && !page.writable && page.twin.is_none());
@@ -387,18 +451,8 @@ mod tests {
         vc1.set(1, 1);
         st.apply_records(
             vec![
-                crate::interval::IntervalRecord {
-                    owner: 0,
-                    ivx: 1,
-                    vc: vc0.clone(),
-                    pages: vec![3],
-                },
-                crate::interval::IntervalRecord {
-                    owner: 1,
-                    ivx: 1,
-                    vc: vc1.clone(),
-                    pages: vec![3],
-                },
+                crate::interval::IntervalRecord::new(0, 1, vc0.clone(), vec![3]),
+                crate::interval::IntervalRecord::new(1, 1, vc1.clone(), vec![3]),
             ],
             &{
                 let mut m = vc0.clone();
@@ -419,6 +473,30 @@ mod tests {
         let (req, wanted) = st.elect_requester(3);
         assert_eq!(req, 0, "lowest faulting node requests");
         assert_eq!(wanted, vec![(0, 1), (1, 1)], "union of everyone's missing diffs");
+    }
+
+    /// The owner answers the first recovery request for a page, suppresses
+    /// identical requests inside the window (one multicast already served
+    /// every requester), and answers again once the window has passed — so
+    /// a requester whose copy of the reply was lost is re-served on its
+    /// next `rse_timeout` retry.
+    #[test]
+    fn oob_reply_dedups_within_window() {
+        let mut st = state(1, 4);
+        let w = Dur::from_millis(250);
+        let t = |ms: u64| SimTime::ZERO + Dur::from_millis(ms);
+        assert!(st.oob_reply_due(7, &[1, 2], t(0), w), "first request is served");
+        assert!(!st.oob_reply_due(7, &[1, 2], t(100), w), "identical request suppressed");
+        assert!(!st.oob_reply_due(7, &[2], t(100), w), "subset suppressed too");
+        assert!(st.oob_reply_due(7, &[3], t(100), w), "an unserved index must be served");
+        assert!(!st.oob_reply_due(7, &[1, 3], t(200), w), "served union accumulates");
+        assert!(st.oob_reply_due(9, &[1], t(100), w), "other pages are independent");
+        assert!(st.oob_reply_due(7, &[1, 2], t(500), w), "window expiry re-serves");
+        // Section entry wipes the memory: new section, new diffs.
+        st.enter_replicated();
+        st.exit_replicated();
+        st.enter_replicated();
+        assert!(st.oob_reply_due(7, &[1], t(501), w), "cleared at section entry");
     }
 
     #[test]

@@ -5,17 +5,26 @@
 //! of interval `i` of node `p` names the most recent interval of `q` that
 //! precedes `i` in the happened-before partial order.
 
+use std::sync::Arc;
+
 use repseq_stats::NodeId;
 
 /// A vector timestamp: entry `q` is the index of the latest interval of
 /// node `q` covered by this timestamp (0 = nothing).
+///
+/// Stored copy-on-write: timestamps are cloned into every interval record,
+/// fork message and valid-notice table entry, and at hundreds of nodes an
+/// n-entry deep copy per clone dominates host time and memory (O(n²·pages)
+/// per replicated section). Clones share the buffer; `set`/`merge` copy
+/// only when the buffer is shared — and a merge that one side dominates
+/// adopts the other side's buffer outright.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct Vc(Vec<u32>);
+pub struct Vc(Arc<Vec<u32>>);
 
 impl Vc {
     /// The zero timestamp for an `n`-node cluster.
     pub fn zero(n: usize) -> Vc {
-        Vc(vec![0; n])
+        Vc(Arc::new(vec![0; n]))
     }
 
     /// Number of nodes.
@@ -37,13 +46,24 @@ impl Vc {
     /// Set the entry for node `q`.
     #[inline]
     pub fn set(&mut self, q: NodeId, v: u32) {
-        self.0[q] = v;
+        if self.0[q] != v {
+            Arc::make_mut(&mut self.0)[q] = v;
+        }
     }
 
     /// Pairwise maximum (the merge performed at an acquire).
     pub fn merge(&mut self, other: &Vc) {
         debug_assert_eq!(self.0.len(), other.0.len());
-        for (a, b) in self.0.iter_mut().zip(&other.0) {
+        if Arc::ptr_eq(&self.0, &other.0) || other.dominated_by(self) {
+            return;
+        }
+        if self.dominated_by(other) {
+            // The merge IS the other timestamp: share its buffer.
+            self.0 = Arc::clone(&other.0);
+            return;
+        }
+        let mine = Arc::make_mut(&mut self.0);
+        for (a, b) in mine.iter_mut().zip(other.0.iter()) {
             *a = (*a).max(*b);
         }
     }
@@ -52,7 +72,7 @@ impl Vc {
     /// this timestamp covers is also covered by `other`.
     pub fn dominated_by(&self, other: &Vc) -> bool {
         debug_assert_eq!(self.0.len(), other.0.len());
-        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
     }
 
     /// True if an interval with index `ivx` of node `owner` is covered by
@@ -138,15 +158,15 @@ mod tests {
         #[test]
         fn prop_merge_dominates_both(a in proptest::collection::vec(0u32..50, 4),
                                      b in proptest::collection::vec(0u32..50, 4)) {
-            let va = Vc(a.clone());
-            let vb = Vc(b.clone());
+            let va = Vc(Arc::new(a.clone()));
+            let vb = Vc(Arc::new(b.clone()));
             let mut m = va.clone();
             m.merge(&vb);
             proptest::prop_assert!(va.dominated_by(&m));
             proptest::prop_assert!(vb.dominated_by(&m));
             // And it is the least upper bound: any other upper bound
             // dominates the merge.
-            let ub = Vc(a.iter().zip(&b).map(|(x, y)| x.max(y) + 1).collect());
+            let ub = Vc(Arc::new(a.iter().zip(&b).map(|(x, y)| x.max(y) + 1).collect()));
             proptest::prop_assert!(m.dominated_by(&ub));
         }
 
@@ -156,7 +176,7 @@ mod tests {
             b in proptest::collection::vec(0u32..50, 4),
             c in proptest::collection::vec(0u32..50, 4),
         ) {
-            let (va, vb, vc_) = (Vc(a), Vc(b), Vc(c));
+            let (va, vb, vc_) = (Vc(Arc::new(a)), Vc(Arc::new(b)), Vc(Arc::new(c)));
             // commutative: merge(a,b) == merge(b,a)
             let mut ab = va.clone();
             ab.merge(&vb);
@@ -180,7 +200,7 @@ mod tests {
         #[test]
         fn prop_covers_agrees_with_dominance(a in proptest::collection::vec(0u32..20, 4),
                                              b in proptest::collection::vec(0u32..20, 4)) {
-            let (va, vb) = (Vc(a), Vc(b));
+            let (va, vb) = (Vc(Arc::new(a)), Vc(Arc::new(b)));
             // a ≤ b exactly when b covers every (owner, ivx) entry of a —
             // the per-notice check and the whole-timestamp check must be
             // two views of the same order.
@@ -204,7 +224,7 @@ mod tests {
             // weight() linearizes happened-before: strict dominance must
             // mean strictly smaller weight (the diff-apply sort relies on
             // this to order causally-related records).
-            let (va, vb) = (Vc(a), Vc(b));
+            let (va, vb) = (Vc(Arc::new(a)), Vc(Arc::new(b)));
             if va.dominated_by(&vb) && va != vb {
                 proptest::prop_assert!(va.weight() < vb.weight());
             }
@@ -214,7 +234,7 @@ mod tests {
         fn prop_dominance_is_a_partial_order(a in proptest::collection::vec(0u32..10, 3),
                                              b in proptest::collection::vec(0u32..10, 3),
                                              c in proptest::collection::vec(0u32..10, 3)) {
-            let (va, vb, vc_) = (Vc(a), Vc(b), Vc(c));
+            let (va, vb, vc_) = (Vc(Arc::new(a)), Vc(Arc::new(b)), Vc(Arc::new(c)));
             // reflexive
             proptest::prop_assert!(va.dominated_by(&va));
             // antisymmetric

@@ -158,18 +158,15 @@ fn replicated_inputs_are_multicast_once() {
 /// diff reply or a null ack.
 fn count_chain_replies(snap: &repseq_stats::StatsSnapshot) -> u64 {
     let seq = snap.seq_agg();
-    // diff messages = requests (unicast to master) + forwarded + replies + null acks
-    seq.diff_messages - seq.null_acks - seq.forwarded_requests - seq.diff_requests_sent(snap)
-}
-
-trait SeqReq {
-    fn diff_requests_sent(&self, snap: &repseq_stats::StatsSnapshot) -> u64;
-}
-impl SeqReq for repseq_stats::SectionAgg {
-    fn diff_requests_sent(&self, _snap: &repseq_stats::StatsSnapshot) -> u64 {
-        // One McastRequest unicast per diff-request operation counted.
-        self.diff_requests
-    }
+    // diff messages = wire requests (unicast to the master) + forwarded +
+    // replies + null acks. When the elected requester IS the master node,
+    // its request reaches its own handler locally and never hits the wire,
+    // so only the other nodes' request operations produced frames.
+    let master = &snap.nodes[0];
+    let node0_requests = master.section(Section::Sequential).diff_requests
+        + master.section(Section::Replicated).diff_requests;
+    let wire_requests = seq.diff_requests - node0_requests;
+    seq.diff_messages - seq.null_acks - seq.forwarded_requests - wire_requests
 }
 
 /// Identical final memory with and without replication, and less parallel

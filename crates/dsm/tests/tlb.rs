@@ -75,7 +75,7 @@ fn write_notice_invalidation_bumps_generation() {
     let g = gen(&st);
     let mut vc = Vc::zero(2);
     vc.set(1, 1);
-    let rec = IntervalRecord { owner: 1, ivx: 1, vc: vc.clone(), pages: vec![5] };
+    let rec = IntervalRecord::new(1, 1, vc.clone(), vec![5]);
     st.apply_records(vec![rec], &vc);
     assert!(!st.page_mut(5).valid, "the notice must invalidate the copy");
     assert!(gen(&st) > g, "invalidation revokes the translation; TLB must revalidate");
@@ -86,7 +86,7 @@ fn irrelevant_records_do_not_bump() {
     let mut st = mk_state();
     let mut vc = Vc::zero(2);
     vc.set(1, 1);
-    let rec = IntervalRecord { owner: 1, ivx: 1, vc: vc.clone(), pages: vec![9] };
+    let rec = IntervalRecord::new(1, 1, vc.clone(), vec![9]);
     st.apply_records(vec![rec.clone()], &vc);
     let g = gen(&st);
     // The duplicate is skipped and the copy is already invalid: nothing

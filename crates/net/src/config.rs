@@ -82,6 +82,22 @@ impl NetConfig {
         }
     }
 
+    /// A lower bound on the virtual latency of any message between two
+    /// *different* nodes: the cheapest path is an empty frame (headers
+    /// only) on the faster medium, plus the fixed forwarding and software
+    /// receive costs. The simulation engine uses this as its conservative
+    /// lookahead — no node can affect another sooner than this — when
+    /// scheduling node groups on the host (`Sim::set_parallel`).
+    ///
+    /// Send-side software overhead is *not* included: it is charged to the
+    /// sender's clock before the transfer starts, so it is already part of
+    /// "now" when the delivery time is computed.
+    pub fn min_cross_latency(&self) -> Dur {
+        let switched = self.unicast_wire_time(0) * 2 + self.switch_latency;
+        let hubbed = self.multicast_wire_time(0) + self.hub_latency;
+        switched.min(hubbed) + self.recv_sw_overhead
+    }
+
     /// Transmission time of `payload` bytes on a link of `bw` bits/second,
     /// including per-fragment header overhead.
     pub fn wire_time(&self, payload_bytes: u64, bw_bps: f64) -> Dur {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::engine::{Ctrl, Envelope, EventKind, Kernel, Pid, Status};
+use crate::engine::{Ctrl, DrainOutcome, Envelope, EventKind, ExecMode, Kernel, Pid, Status};
 use crate::error::Stopped;
 use crate::time::{Dur, SimTime};
 
@@ -125,6 +125,19 @@ impl<M: Send + 'static> Ctx<M> {
 
     fn recv_deadline(&self, deadline: Option<SimTime>) -> Result<Option<Envelope<M>>, Stopped> {
         let at = self.flushed_clock_peek();
+        // Fast path: a message already in the mailbox was delivered at or
+        // before this process's last resume, so it can be consumed right
+        // now without a checkpoint event or a yield. Only one process
+        // runs at a time and deliveries are applied in global (time, seq)
+        // order, so the mailbox front is exactly what the checkpoint path
+        // would return — minus two host context switches (serial mode) or
+        // a kernel round trip (handoff mode) per received burst message.
+        {
+            let mut k = self.kernel.lock();
+            if let Some(env) = k.procs[self.pid].mailbox.pop_front() {
+                return Ok(Some(env));
+            }
+        }
         let (_, timed_out) = self.block(|k, pid| {
             let gen = k.bump_gen(pid);
             k.procs[pid].status = Status::Polling { deadline };
@@ -159,14 +172,36 @@ impl<M: Send + 'static> Ctx<M> {
 
     /// Yield to the engine. `setup` runs under the kernel lock and must set
     /// this process's status and schedule any wake events.
+    ///
+    /// In the serial mode the yield is a channel round trip through the
+    /// coordinator. In the handoff mode the yielding process keeps *duty*:
+    /// still under the kernel lock, it pops and applies events itself. If
+    /// one of them resumes this very process it returns immediately — zero
+    /// host context switches; if it resumes another process, duty moves
+    /// there directly — one switch; if the queue runs dry, duty returns to
+    /// the coordinator for the termination check.
     fn block(&self, setup: impl FnOnce(&mut Kernel<M>, Pid)) -> Result<(SimTime, bool), Stopped> {
         let c = self.flushed_clock();
-        {
-            let mut k = self.kernel.lock();
-            k.procs[self.pid].clock = c;
-            setup(&mut k, self.pid);
+        let mut k = self.kernel.lock();
+        k.procs[self.pid].clock = c;
+        setup(&mut k, self.pid);
+        if k.mode == ExecMode::Handoff {
+            match k.drain(Some(self.pid)) {
+                DrainOutcome::SelfResume { time, timed_out } => {
+                    drop(k);
+                    self.clock.set(time.nanos());
+                    return Ok((time, timed_out));
+                }
+                DrainOutcome::Handoff => drop(k),
+                DrainOutcome::Empty => {
+                    drop(k);
+                    self.ctrl_tx.send(Ctrl::Idle(self.pid)).map_err(|_| Stopped)?;
+                }
+            }
+        } else {
+            drop(k);
+            self.ctrl_tx.send(Ctrl::Yielded(self.pid)).map_err(|_| Stopped)?;
         }
-        self.ctrl_tx.send(Ctrl::Yielded(self.pid)).map_err(|_| Stopped)?;
         match self.resume_rx.recv() {
             Ok(Resume::Go { time, timed_out }) => {
                 self.clock.set(time.nanos());

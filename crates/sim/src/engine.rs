@@ -14,9 +14,35 @@
 //! yields; `recv`/`sleep` do. Local computation between yields is free in
 //! wall-clock terms (no context switch) and is folded into the process clock
 //! at the next yield point.
+//!
+//! # Event sharding and host execution modes
+//!
+//! Pending events live in per-*group* ordered queues (a group is normally
+//! one simulated node: its application and protocol-handler processes) with
+//! a lazy merge index over the group heads — see [`EventQueues`]. The global
+//! pop order is exactly ascending `(time, seq)`, identical to a single heap,
+//! so sharding never affects simulation results; it exists so the engine can
+//! exploit *runs* of events belonging to one node.
+//!
+//! Two host execution modes drive that order:
+//!
+//! * **Serial** (default): a coordinator thread pops every event and does a
+//!   channel round trip with a process thread for every resume — two host
+//!   context switches per yield.
+//! * **Handoff** ([`Sim::set_parallel`]): the process threads themselves
+//!   drive the kernel. At a yield, the blocking process keeps *duty*: it
+//!   pops and applies events inline (no switch), resumes itself without any
+//!   switch, and hands duty directly to another process with a single
+//!   switch — the coordinator is only involved at startup, exits and idle.
+//!   Conservative lookahead from the network's minimum cross-node latency
+//!   bounds how early a remote node can be affected; the engine uses it to
+//!   validate the handoff windows (in debug builds) and to account for them
+//!   ([`ExecCounters`]). Because duty always follows the globally minimal
+//!   event, the pop order — and therefore every report field, trace entry
+//!   and statistic — is bit-identical to the serial mode by construction.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -25,7 +51,7 @@ use parking_lot::Mutex;
 
 use crate::ctx::{Ctx, Resume};
 use crate::error::{SimError, Stopped};
-use crate::time::SimTime;
+use crate::time::{Dur, SimTime};
 use crate::trace::TraceEntry;
 
 /// Identifier of a simulated process (index into the process table).
@@ -50,27 +76,140 @@ pub(crate) enum EventKind<M> {
     Deliver { dst: Pid, env: Envelope<M> },
 }
 
+impl<M> EventKind<M> {
+    /// The process an event is routed to (and whose group queues it).
+    fn target(&self) -> Pid {
+        match self {
+            EventKind::Wake { pid, .. } => *pid,
+            EventKind::Deliver { dst, .. } => *dst,
+        }
+    }
+}
+
 pub(crate) struct Event<M> {
     pub time: SimTime,
     pub seq: u64,
     pub kind: EventKind<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// Sharded pending-event store: one ordered map per group plus a lazy merge
+/// index over the group heads.
+///
+/// Invariant: for every non-empty group, either the merge heap contains an
+/// entry carrying the group's current head key, or that head is the
+/// `deferred` slot. The heap may additionally hold *stale* entries — keys
+/// already consumed — which are strictly smaller than their group's live
+/// head and are skipped at pop. Pops therefore always yield the global
+/// minimum `(time, seq)`.
+///
+/// The `deferred` slot is the sprint optimization: after popping from group
+/// `g`, `g`'s next head is withheld from the heap. If it is still the
+/// global minimum at the next pop (true for any run of consecutive events
+/// on one node), it is consumed with two `BTreeMap` operations and no heap
+/// traffic at all.
+struct EventQueues<M> {
+    groups: Vec<BTreeMap<(SimTime, u64), EventKind<M>>>,
+    heads: BinaryHeap<Reverse<((SimTime, u64), usize)>>,
+    deferred: Option<((SimTime, u64), usize)>,
+    /// pid → group index. Each process starts in its own group;
+    /// [`Sim::assign_group`] merges the processes of one simulated node.
+    group_of: Vec<usize>,
+    len: usize,
+    sprint_pops: u64,
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<M> EventQueues<M> {
+    fn new() -> Self {
+        EventQueues {
+            groups: Vec::new(),
+            heads: BinaryHeap::new(),
+            deferred: None,
+            group_of: Vec::new(),
+            len: 0,
+            sprint_pops: 0,
+        }
     }
-}
-impl<M> Ord for Event<M> {
-    /// Reverse order so that `BinaryHeap` pops the earliest (time, seq).
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+
+    /// Register a new process in a fresh group of its own.
+    fn add_proc(&mut self) {
+        self.group_of.push(self.groups.len());
+        self.groups.push(BTreeMap::new());
+    }
+
+    /// Move `pid` (and its pending events) to `group`.
+    fn assign_group(&mut self, pid: Pid, group: usize) {
+        while self.groups.len() <= group {
+            self.groups.push(BTreeMap::new());
+        }
+        let old = self.group_of[pid];
+        if old == group {
+            return;
+        }
+        if let Some(d) = self.deferred.take() {
+            self.heads.push(Reverse(d));
+        }
+        self.group_of[pid] = group;
+        let moved: Vec<(SimTime, u64)> = self.groups[old]
+            .iter()
+            .filter(|(_, kind)| kind.target() == pid)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in moved {
+            let kind = self.groups[old].remove(&key).expect("key just seen");
+            self.groups[group].insert(key, kind);
+        }
+        // Re-announce both heads; redundant entries are skipped as stale.
+        for g in [old, group] {
+            if let Some((&k, _)) = self.groups[g].first_key_value() {
+                self.heads.push(Reverse((k, g)));
+            }
+        }
+    }
+
+    fn push(&mut self, key: (SimTime, u64), kind: EventKind<M>) {
+        let g = self.group_of[kind.target()];
+        let new_head = self.groups[g].first_key_value().is_none_or(|(&k, _)| key < k);
+        let dup = self.groups[g].insert(key, kind);
+        debug_assert!(dup.is_none(), "duplicate event key");
+        self.len += 1;
+        if new_head {
+            match self.deferred {
+                // The deferred slot covered this group's old head; it must
+                // track the new, smaller one.
+                Some((_, dg)) if dg == g => self.deferred = Some((key, g)),
+                _ => self.heads.push(Reverse((key, g))),
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<M>> {
+        if let Some((dk, dg)) = self.deferred.take() {
+            // Sprint: stale heap entries only under-estimate other groups'
+            // heads, so `dk <= top` conservatively proves the deferred head
+            // is still the global minimum.
+            if self.heads.peek().is_none_or(|&Reverse((tk, _))| dk <= tk) {
+                self.sprint_pops += 1;
+                return Some(self.take(dk, dg));
+            }
+            self.heads.push(Reverse((dk, dg)));
+        }
+        loop {
+            let Reverse((key, g)) = self.heads.pop()?;
+            if self.groups[g].first_key_value().map(|(&k, _)| k) == Some(key) {
+                return Some(self.take(key, g));
+            }
+            // Stale: this key was consumed earlier (or migrated); skip.
+        }
+    }
+
+    fn take(&mut self, key: (SimTime, u64), g: usize) -> Event<M> {
+        let kind = self.groups[g].remove(&key).expect("head vanished");
+        debug_assert!(self.deferred.is_none());
+        if let Some((&next, _)) = self.groups[g].first_key_value() {
+            self.deferred = Some((next, g));
+        }
+        self.len -= 1;
+        Event { time: key.0, seq: key.1, kind }
     }
 }
 
@@ -103,32 +242,228 @@ pub(crate) struct ProcSlot<M> {
     pub panicked: bool,
 }
 
+/// How the host drives the (unchanged) global event order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecMode {
+    /// Coordinator thread pops; every resume is a channel round trip.
+    Serial,
+    /// Yielding processes drive the kernel themselves and hand duty
+    /// directly to the process they resume.
+    Handoff,
+}
+
+/// Host-execution counters for one run (see the module docs). These
+/// describe how the *host* drove the simulation — they are not part of the
+/// simulation result and are excluded from determinism fingerprints: a
+/// serial run and a handoff run of the same workload produce different
+/// counters but identical reports otherwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Maximal bursts of consecutive events executed by one duty holder
+    /// without returning to the coordinator (handoff mode only).
+    pub windows: u64,
+    /// Pops served straight from the last group's queue, bypassing the
+    /// merge index (consecutive same-node events).
+    pub sprint_pops: u64,
+    /// Direct process-to-process duty transfers (one host context switch
+    /// each; the serial mode pays two per resume).
+    pub handoff_switches: u64,
+    /// Resumes where the duty holder resumed *itself* — zero host context
+    /// switches (handoff mode only).
+    pub self_continues: u64,
+    /// Events applied without resuming anyone (deliveries to busy
+    /// processes, checkpoint wakes, stale wakes) by a duty-holding process.
+    pub inline_events: u64,
+}
+
+/// What applying one event did (see [`Kernel::apply`]).
+enum Resumption {
+    /// `Resume::Go` was sent to another process.
+    Cross,
+    /// The applying process resumed itself; nothing was sent.
+    SelfGo { time: SimTime, timed_out: bool },
+}
+
+/// What a [`Kernel::drain`] call ended with.
+pub(crate) enum DrainOutcome {
+    /// No events left while this drainer held duty.
+    Empty,
+    /// Duty was handed to the resumed process.
+    Handoff,
+    /// The draining process resumed itself (only when `me` was given).
+    SelfResume { time: SimTime, timed_out: bool },
+}
+
 pub(crate) struct Kernel<M> {
-    pub heap: BinaryHeap<Event<M>>,
+    queues: EventQueues<M>,
     pub procs: Vec<ProcSlot<M>>,
     pub next_seq: u64,
     pub trace: Option<Vec<TraceEntry>>,
     /// Count of popped events, for the report.
     pub events_processed: u64,
+    /// Virtual time of the last popped event.
+    pub end_time: SimTime,
+    pub mode: ExecMode,
+    /// Conservative lookahead: the minimum virtual latency of any
+    /// cross-group message, used for window validation and accounting.
+    pub lookahead: Dur,
+    /// True once groups were explicitly assigned (enables the lookahead
+    /// check — with default per-pid groups, same-node traffic crosses
+    /// groups at zero latency and the check would be meaningless).
+    grouped: bool,
+    pub exec: ExecCounters,
 }
 
 impl<M> Kernel<M> {
     pub(crate) fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        #[cfg(debug_assertions)]
+        self.assert_lookahead(time, &kind);
+        self.queues.push((time, seq), kind);
+    }
+
+    /// Validate the conservative-lookahead contract: a running process can
+    /// only affect *another* node at least `lookahead` of virtual time in
+    /// the future. This is what makes a duty holder's window safe — no
+    /// cross-node event can appear under its feet — and it holds because
+    /// the network model charges at least the minimum cross-node latency
+    /// on every inter-node message.
+    #[cfg(debug_assertions)]
+    fn assert_lookahead(&self, time: SimTime, kind: &EventKind<M>) {
+        if !self.grouped || self.lookahead == Dur::ZERO {
+            return;
+        }
+        let EventKind::Deliver { dst, env } = kind else { return };
+        if self.queues.group_of[env.from] == self.queues.group_of[*dst] {
+            return;
+        }
+        debug_assert!(
+            time >= self.end_time + self.lookahead,
+            "cross-group delivery inside the lookahead window: at {time:?}, \
+             kernel at {:?}, lookahead {:?}",
+            self.end_time,
+            self.lookahead
+        );
     }
 
     pub(crate) fn bump_gen(&mut self, pid: Pid) -> u64 {
         self.procs[pid].gen += 1;
         self.procs[pid].gen
     }
+
+    /// Pop the globally next event and do the per-event bookkeeping.
+    fn pop_next(&mut self) -> Option<Event<M>> {
+        let ev = self.queues.pop()?;
+        debug_assert!(ev.time >= self.end_time, "kernel time went backwards");
+        self.end_time = self.end_time.max(ev.time);
+        self.events_processed += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry::from_event(&ev));
+        }
+        Some(ev)
+    }
+
+    /// Apply a popped event. Returns what resumption, if any, it caused;
+    /// `me` is the applying process (duty holder), which is resumed in
+    /// place instead of through its channel.
+    fn apply(&mut self, ev: Event<M>, me: Option<Pid>) -> Option<Resumption> {
+        match ev.kind {
+            EventKind::Wake { pid, gen } => {
+                let slot = &self.procs[pid];
+                if slot.gen != gen
+                    || slot.status == Status::Exited
+                    || slot.status == Status::Running
+                {
+                    return None; // stale wake
+                }
+                match slot.status {
+                    Status::Sleeping => Some(self.resume(pid, ev.time, false, me)),
+                    Status::Polling { deadline } => {
+                        if !self.procs[pid].mailbox.is_empty() {
+                            Some(self.resume(pid, ev.time, false, me))
+                        } else if deadline == Some(ev.time) {
+                            // Zero-length timeout: the checkpoint *is* the
+                            // deadline.
+                            Some(self.resume(pid, ev.time, true, me))
+                        } else {
+                            self.procs[pid].status = Status::Waiting { deadline };
+                            None
+                        }
+                    }
+                    Status::Waiting { deadline } => {
+                        // Only the deadline wake is still live for a waiter.
+                        debug_assert_eq!(deadline, Some(ev.time));
+                        Some(self.resume(pid, ev.time, true, me))
+                    }
+                    Status::Running | Status::Exited => None,
+                }
+            }
+            EventKind::Deliver { dst, env } => {
+                let slot = &mut self.procs[dst];
+                if slot.status == Status::Exited {
+                    return None; // message to a dead process is dropped
+                }
+                slot.mailbox.push_back(env);
+                match slot.status {
+                    Status::Waiting { .. } => Some(self.resume(dst, ev.time, false, me)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    fn resume(&mut self, pid: Pid, time: SimTime, timed_out: bool, me: Option<Pid>) -> Resumption {
+        let slot = &mut self.procs[pid];
+        debug_assert!(slot.clock <= time, "process resumed into its past");
+        slot.gen += 1; // invalidate any other pending wakes
+        slot.status = Status::Running;
+        slot.clock = time;
+        if me == Some(pid) {
+            Resumption::SelfGo { time, timed_out }
+        } else {
+            slot.resume_tx.send(Resume::Go { time, timed_out }).expect("process thread vanished");
+            Resumption::Cross
+        }
+    }
+
+    /// Drive the kernel while holding duty: pop and apply events until one
+    /// resumes a process (duty moves to it) or the queue runs dry. `me` is
+    /// the duty-holding process, or `None` for the coordinator.
+    pub(crate) fn drain(&mut self, me: Option<Pid>) -> DrainOutcome {
+        let mut popped = false;
+        loop {
+            let Some(ev) = self.pop_next() else {
+                if popped {
+                    self.exec.windows += 1;
+                }
+                return DrainOutcome::Empty;
+            };
+            popped = true;
+            match self.apply(ev, me) {
+                None => self.exec.inline_events += 1,
+                Some(Resumption::SelfGo { time, timed_out }) => {
+                    self.exec.windows += 1;
+                    self.exec.self_continues += 1;
+                    return DrainOutcome::SelfResume { time, timed_out };
+                }
+                Some(Resumption::Cross) => {
+                    self.exec.windows += 1;
+                    self.exec.handoff_switches += 1;
+                    return DrainOutcome::Handoff;
+                }
+            }
+        }
+    }
 }
 
 /// Control messages from process threads back to the engine.
 pub(crate) enum Ctrl {
-    /// The process blocked (its slot describes on what).
+    /// The process blocked (its slot describes on what). Serial mode only.
     Yielded(Pid),
+    /// A duty-holding process found the event queue empty (handoff mode):
+    /// duty returns to the coordinator for the termination check.
+    Idle(Pid),
     /// The process function returned or unwound.
     Exited(Pid, /*panicked*/ bool),
 }
@@ -149,6 +484,9 @@ pub struct SimReport {
     /// protocol leaves this empty; a wedged recovery path shows up here as
     /// undelivered traffic.
     pub mailbox_backlog: Vec<(String, usize)>,
+    /// How the host drove the run (context-switch economy). Not part of
+    /// the simulation result: excluded from determinism fingerprints.
+    pub exec: ExecCounters,
 }
 
 /// A simulation under construction and its runner.
@@ -193,11 +531,16 @@ impl<M: Send + 'static> Sim<M> {
         let (ctrl_tx, ctrl_rx) = unbounded();
         Sim {
             kernel: Arc::new(Mutex::new(Kernel {
-                heap: BinaryHeap::new(),
+                queues: EventQueues::new(),
                 procs: Vec::new(),
                 next_seq: 0,
                 trace: None,
                 events_processed: 0,
+                end_time: SimTime::ZERO,
+                mode: ExecMode::Serial,
+                lookahead: Dur::ZERO,
+                grouped: false,
+                exec: ExecCounters::default(),
             })),
             ctrl_tx,
             ctrl_rx,
@@ -209,6 +552,28 @@ impl<M: Send + 'static> Sim<M> {
     /// Record an event trace in the report (used by determinism tests).
     pub fn record_trace(&mut self, on: bool) {
         self.record_trace = on;
+    }
+
+    /// Switch the run to the duty-handoff execution mode when `threads`
+    /// is 2 or more (1 keeps the serial coordinator loop). `lookahead`
+    /// must be a lower bound on the virtual latency of any message between
+    /// processes of different groups — pass the network's minimum
+    /// cross-node latency. The simulation *result* is bit-identical either
+    /// way; only the host scheduling (and [`SimReport::exec`]) changes.
+    pub fn set_parallel(&mut self, threads: usize, lookahead: Dur) {
+        let mut k = self.kernel.lock();
+        k.mode = if threads >= 2 { ExecMode::Handoff } else { ExecMode::Serial };
+        k.lookahead = lookahead;
+    }
+
+    /// Put `pid` into scheduling group `group`. Processes of one simulated
+    /// node (its application and its protocol handler) should share a
+    /// group: their mutual traffic has zero latency, while cross-group
+    /// traffic is bounded below by the lookahead.
+    pub fn assign_group(&mut self, pid: Pid, group: usize) {
+        let mut k = self.kernel.lock();
+        k.queues.assign_group(pid, group);
+        k.grouped = true;
     }
 
     /// Spawn a primary process. The simulation ends when every primary
@@ -248,6 +613,7 @@ impl<M: Send + 'static> Sim<M> {
                 resume_tx,
                 panicked: false,
             });
+            k.queues.add_proc();
             // Initial wake at t=0 so the process starts when the engine runs.
             k.push_event(SimTime::ZERO, EventKind::Wake { pid, gen: 0 });
             pid
@@ -279,71 +645,16 @@ impl<M: Send + 'static> Sim<M> {
         if self.record_trace {
             self.kernel.lock().trace = Some(Vec::new());
         }
-        let n_primary = {
+        let (n_primary, mode) = {
             let k = self.kernel.lock();
-            k.procs.iter().filter(|p| !p.daemon).count()
+            (k.procs.iter().filter(|p| !p.daemon).count(), k.mode)
         };
         if n_primary == 0 {
             return Err(SimError::NoPrimaryProcesses);
         }
-        let mut live_primary = n_primary;
-        let mut end_time = SimTime::ZERO;
-        let result = loop {
-            // Pop the next event (earliest virtual time).
-            let action = {
-                let mut k = self.kernel.lock();
-                match k.heap.pop() {
-                    None => {
-                        // No events left: either everything exited, or the
-                        // remaining processes are deadlocked waiting for
-                        // messages that will never arrive.
-                        if live_primary == 0 {
-                            break Ok(());
-                        }
-                        let blocked: Vec<(Pid, String)> = k
-                            .procs
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, p)| p.status != Status::Exited && !p.daemon)
-                            .map(|(i, p)| (i, format!("{} ({:?})", p.name, p.status)))
-                            .collect();
-                        break Err(SimError::Deadlock { blocked });
-                    }
-                    Some(ev) => {
-                        debug_assert!(ev.time >= end_time, "kernel time went backwards");
-                        end_time = end_time.max(ev.time);
-                        k.events_processed += 1;
-                        if let Some(trace) = &mut k.trace {
-                            trace.push(TraceEntry::from_event(&ev));
-                        }
-                        Self::apply_event(&mut k, ev)
-                    }
-                }
-            };
-            // If the event resumed a process, run it until it yields/exits.
-            if let Some(pid) = action {
-                match self.ctrl_rx.recv().expect("all process threads vanished") {
-                    Ctrl::Yielded(_) => {}
-                    Ctrl::Exited(xpid, panicked) => {
-                        let mut k = self.kernel.lock();
-                        let slot = &mut k.procs[xpid];
-                        slot.status = Status::Exited;
-                        slot.panicked = panicked;
-                        if !slot.daemon {
-                            live_primary -= 1;
-                        }
-                        let name = slot.name.clone();
-                        drop(k);
-                        if panicked {
-                            break Err(SimError::ProcessPanicked { pid: xpid, name });
-                        }
-                        if live_primary == 0 {
-                            break Ok(());
-                        }
-                    }
-                }
-                let _ = pid; // pid only used for debugging
-            }
+        let result = match mode {
+            ExecMode::Serial => self.event_loop_serial(n_primary),
+            ExecMode::Handoff => self.event_loop_handoff(n_primary),
         };
 
         // Stop remaining processes (daemons, or everyone on error).
@@ -351,8 +662,9 @@ impl<M: Send + 'static> Sim<M> {
         let join_err = self.join_threads();
 
         let mut k = self.kernel.lock();
+        k.exec.sprint_pops = k.queues.sprint_pops;
         let report = SimReport {
-            end_time,
+            end_time: k.end_time,
             proc_clocks: k.procs.iter().map(|p| (p.name.clone(), p.clock)).collect(),
             events_processed: k.events_processed,
             trace: k.trace.take(),
@@ -362,6 +674,7 @@ impl<M: Send + 'static> Sim<M> {
                 .filter(|p| !p.mailbox.is_empty())
                 .map(|p| (p.name.clone(), p.mailbox.len()))
                 .collect(),
+            exec: k.exec,
         };
         drop(k);
 
@@ -376,71 +689,122 @@ impl<M: Send + 'static> Sim<M> {
         }
     }
 
-    /// Apply a popped event to the kernel. Returns `Some(pid)` if a process
-    /// was resumed and the engine must wait for it to yield.
-    fn apply_event(k: &mut Kernel<M>, ev: Event<M>) -> Option<Pid> {
-        match ev.kind {
-            EventKind::Wake { pid, gen } => {
-                let slot = &k.procs[pid];
-                if slot.gen != gen
-                    || slot.status == Status::Exited
-                    || slot.status == Status::Running
-                {
-                    return None; // stale wake
+    /// The classic coordinator loop: pop one event at a time; on a resume,
+    /// wait for the process to yield back.
+    fn event_loop_serial(&mut self, n_primary: usize) -> Result<(), SimError> {
+        let mut live_primary = n_primary;
+        loop {
+            // Pop the next event (earliest virtual time).
+            let action = {
+                let mut k = self.kernel.lock();
+                match k.pop_next() {
+                    None => {
+                        // No events left: either everything exited, or the
+                        // remaining processes are deadlocked waiting for
+                        // messages that will never arrive.
+                        if live_primary == 0 {
+                            return Ok(());
+                        }
+                        return Err(SimError::Deadlock { blocked: Self::blocked_procs(&k) });
+                    }
+                    Some(ev) => k.apply(ev, None),
                 }
-                match slot.status {
-                    Status::Sleeping => Some(Self::resume(k, pid, ev.time, false)),
-                    Status::Polling { deadline } => {
-                        if !k.procs[pid].mailbox.is_empty() {
-                            Some(Self::resume(k, pid, ev.time, false))
-                        } else if deadline == Some(ev.time) {
-                            // Zero-length timeout: the checkpoint *is* the
-                            // deadline.
-                            Some(Self::resume(k, pid, ev.time, true))
-                        } else {
-                            k.procs[pid].status = Status::Waiting { deadline };
-                            None
+            };
+            // If the event resumed a process, run it until it yields/exits.
+            if let Some(Resumption::Cross) = action {
+                match self.ctrl_rx.recv().expect("all process threads vanished") {
+                    Ctrl::Yielded(_) => {}
+                    Ctrl::Idle(_) => unreachable!("Idle is never sent in serial mode"),
+                    Ctrl::Exited(xpid, panicked) => {
+                        if let Some(end) = self.note_exit(xpid, panicked, &mut live_primary) {
+                            return end;
                         }
                     }
-                    Status::Waiting { deadline } => {
-                        // Only the deadline wake is still live for a waiter.
-                        debug_assert_eq!(deadline, Some(ev.time));
-                        Some(Self::resume(k, pid, ev.time, true))
-                    }
-                    Status::Running | Status::Exited => None,
-                }
-            }
-            EventKind::Deliver { dst, env } => {
-                let slot = &mut k.procs[dst];
-                if slot.status == Status::Exited {
-                    return None; // message to a dead process is dropped
-                }
-                slot.mailbox.push_back(env);
-                match slot.status {
-                    Status::Waiting { .. } => Some(Self::resume(k, dst, ev.time, false)),
-                    _ => None,
                 }
             }
         }
     }
 
-    fn resume(k: &mut Kernel<M>, pid: Pid, time: SimTime, timed_out: bool) -> Pid {
-        let slot = &mut k.procs[pid];
-        debug_assert!(slot.clock <= time, "process resumed into its past");
-        slot.gen += 1; // invalidate any other pending wakes
-        slot.status = Status::Running;
-        slot.clock = time;
-        slot.resume_tx.send(Resume::Go { time, timed_out }).expect("process thread vanished");
-        pid
+    /// The duty-handoff loop: the coordinator only seeds the run and takes
+    /// duty back at exits and idles; between those, the process threads
+    /// drive the kernel themselves (see [`Kernel::drain`] and
+    /// [`Ctx`](crate::Ctx)'s blocking path).
+    fn event_loop_handoff(&mut self, n_primary: usize) -> Result<(), SimError> {
+        let mut live_primary = n_primary;
+        loop {
+            let outcome = self.kernel.lock().drain(None);
+            match outcome {
+                DrainOutcome::SelfResume { .. } => {
+                    unreachable!("the coordinator cannot resume itself")
+                }
+                DrainOutcome::Empty => {
+                    if live_primary == 0 {
+                        return Ok(());
+                    }
+                    let k = self.kernel.lock();
+                    return Err(SimError::Deadlock { blocked: Self::blocked_procs(&k) });
+                }
+                DrainOutcome::Handoff => {
+                    // Duty circulates among the process threads now; it
+                    // comes back with an exit or an idle notification.
+                    match self.ctrl_rx.recv().expect("all process threads vanished") {
+                        Ctrl::Yielded(_) => unreachable!("Yielded is never sent in handoff mode"),
+                        Ctrl::Idle(_) => {}
+                        Ctrl::Exited(xpid, panicked) => {
+                            if let Some(end) = self.note_exit(xpid, panicked, &mut live_primary) {
+                                return end;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a process exit. Returns `Some(final result)` when the run is
+    /// over (a panic, or the last primary exiting), `None` to keep going.
+    fn note_exit(
+        &mut self,
+        xpid: Pid,
+        panicked: bool,
+        live_primary: &mut usize,
+    ) -> Option<Result<(), SimError>> {
+        let mut k = self.kernel.lock();
+        let slot = &mut k.procs[xpid];
+        slot.status = Status::Exited;
+        slot.panicked = panicked;
+        if !slot.daemon {
+            *live_primary -= 1;
+        }
+        let name = slot.name.clone();
+        drop(k);
+        if panicked {
+            return Some(Err(SimError::ProcessPanicked { pid: xpid, name }));
+        }
+        if *live_primary == 0 {
+            return Some(Ok(()));
+        }
+        None
+    }
+
+    fn blocked_procs(k: &Kernel<M>) -> Vec<(Pid, String)> {
+        k.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status != Status::Exited && !p.daemon)
+            .map(|(i, p)| (i, format!("{} ({:?})", p.name, p.status)))
+            .collect()
     }
 
     fn stop_remaining(&mut self) {
         // Every remaining process is blocked (none can be Running here).
         // Send Stop; a stopped process may yield a few more times while
         // unwinding through nested calls, so keep answering Stop until it
-        // exits.
+        // exits. Unwinding yields must go through the serial path — a
+        // stopping process must not pick duty back up.
         let pending: Vec<Pid> = {
-            let k = self.kernel.lock();
+            let mut k = self.kernel.lock();
+            k.mode = ExecMode::Serial;
             k.procs
                 .iter()
                 .enumerate()
@@ -466,7 +830,7 @@ impl<M: Send + 'static> Sim<M> {
                     k.procs[pid].panicked = panicked;
                     outstanding -= 1;
                 }
-                Ok(Ctrl::Yielded(pid)) => {
+                Ok(Ctrl::Yielded(pid)) | Ok(Ctrl::Idle(pid)) => {
                     // A stopping process yielded again; answer Stop again.
                     let k = self.kernel.lock();
                     let _ = k.procs[pid].resume_tx.send(Resume::Stop);
@@ -495,7 +859,8 @@ impl<M: Send + 'static> Drop for Sim<M> {
     /// that are dropped without being run; after `run` this is a no-op).
     fn drop(&mut self) {
         {
-            let k = self.kernel.lock();
+            let mut k = self.kernel.lock();
+            k.mode = ExecMode::Serial;
             for p in &k.procs {
                 if p.status != Status::Exited {
                     let _ = p.resume_tx.send(Resume::Stop);
@@ -505,7 +870,7 @@ impl<M: Send + 'static> Drop for Sim<M> {
         // Answer any further yields from unwinding processes with Stop.
         loop {
             match self.ctrl_rx.try_recv() {
-                Ok(Ctrl::Yielded(pid)) => {
+                Ok(Ctrl::Yielded(pid)) | Ok(Ctrl::Idle(pid)) => {
                     let k = self.kernel.lock();
                     let _ = k.procs[pid].resume_tx.send(Resume::Stop);
                 }

@@ -131,6 +131,12 @@ impl Dur {
         Dur(self.0.max(other.0))
     }
 
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, other: Dur) -> Dur {

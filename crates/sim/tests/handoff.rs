@@ -1,0 +1,202 @@
+//! Duty-handoff execution mode: the simulation *result* must be
+//! bit-identical to the serial coordinator loop — same end time, clocks,
+//! event count and full kernel trace — while the host-execution counters
+//! show the work was actually driven by the process threads themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use repseq_sim::{Dur, Sim, SimError, SimReport};
+
+const RING: usize = 6;
+const HOPS: u32 = 40;
+
+/// A token ring with charged compute per hop, optionally under handoff
+/// scheduling with each process in its own group and the hop latency as
+/// the (exact) lookahead bound.
+fn token_ring(handoff: bool) -> SimReport {
+    let mut sim = Sim::<u32>::new();
+    sim.record_trace(true);
+    for i in 0..RING {
+        let next = (i + 1) % RING;
+        if i == 0 {
+            sim.spawn("ring0", move |ctx| {
+                ctx.charge(Dur::from_micros(3));
+                ctx.send(next, HOPS, ctx.now() + Dur::from_micros(2));
+                loop {
+                    let env = ctx.recv()?;
+                    if env.msg == 0 {
+                        return Ok(());
+                    }
+                    ctx.charge(Dur::from_micros(1));
+                    ctx.send(next, env.msg - 1, ctx.now() + Dur::from_micros(2));
+                }
+            });
+        } else {
+            sim.spawn_daemon(&format!("ring{i}"), move |ctx| {
+                while let Ok(env) = ctx.recv() {
+                    ctx.charge(Dur::from_micros(1));
+                    if env.msg == 0 {
+                        ctx.send(next, 0, ctx.now() + Dur::from_micros(2));
+                    } else {
+                        ctx.send(next, env.msg - 1, ctx.now() + Dur::from_micros(2));
+                    }
+                }
+                Ok(())
+            });
+        }
+    }
+    if handoff {
+        sim.set_parallel(2, Dur::from_micros(2));
+        for pid in 0..RING {
+            sim.assign_group(pid, pid);
+        }
+    }
+    sim.run().unwrap()
+}
+
+#[test]
+fn handoff_reproduces_the_serial_run_bit_for_bit() {
+    let serial = token_ring(false);
+    let handoff = token_ring(true);
+    assert_eq!(serial.end_time, handoff.end_time);
+    assert_eq!(serial.events_processed, handoff.events_processed);
+    assert_eq!(serial.proc_clocks, handoff.proc_clocks);
+    assert_eq!(serial.mailbox_backlog, handoff.mailbox_backlog);
+    let (st, ht) = (serial.trace.as_ref().unwrap(), handoff.trace.as_ref().unwrap());
+    assert!(!st.is_empty());
+    assert_eq!(st, ht, "kernel pop order must be identical across modes");
+}
+
+#[test]
+fn handoff_is_driven_by_the_process_threads() {
+    let serial = token_ring(false);
+    let handoff = token_ring(true);
+    // Serial mode never exercises the handoff machinery…
+    assert_eq!(serial.exec.handoff_switches, 0);
+    assert_eq!(serial.exec.self_continues, 0);
+    assert_eq!(serial.exec.windows, 0);
+    // …while in handoff mode the ring is one long chain of direct
+    // process-to-process transfers: every hop delivery resumes the next
+    // process from the previous one's yield.
+    assert!(
+        handoff.exec.handoff_switches as u32 >= HOPS,
+        "expected at least one duty transfer per hop, got {:?}",
+        handoff.exec
+    );
+    // Each hop's checkpoint wake (Polling → Waiting) is consumed inline by
+    // whoever holds duty.
+    assert!(handoff.exec.inline_events > 0, "no events applied inline: {:?}", handoff.exec);
+}
+
+#[test]
+fn queued_runs_sprint_past_the_merge_index() {
+    // Several deliveries queued for one process: after the first pop, the
+    // rest of the run is served from the group queue's deferred head
+    // without touching the merge heap — in either execution mode.
+    for handoff in [false, true] {
+        let mut sim = Sim::<u32>::new();
+        sim.spawn("burst-sender", |ctx| {
+            for i in 0..8u32 {
+                ctx.send(1, i, ctx.now() + Dur::from_micros(10 + i as u64));
+            }
+            Ok(())
+        });
+        sim.spawn("burst-receiver", |ctx| {
+            for expect in 0..8u32 {
+                assert_eq!(ctx.recv()?.msg, expect);
+            }
+            Ok(())
+        });
+        if handoff {
+            sim.set_parallel(2, Dur::ZERO);
+        }
+        let report = sim.run().unwrap();
+        assert!(
+            report.exec.sprint_pops >= 8,
+            "burst run should sprint (handoff={handoff}): {:?}",
+            report.exec
+        );
+    }
+}
+
+#[test]
+fn handoff_detects_deadlock() {
+    let mut sim = Sim::<u32>::new();
+    sim.spawn("a", |ctx| {
+        let _ = ctx.recv()?; // nobody will ever send
+        Ok(())
+    });
+    sim.spawn("b", |ctx| {
+        let _ = ctx.recv()?;
+        Ok(())
+    });
+    sim.set_parallel(2, Dur::ZERO);
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn handoff_stops_daemons_after_primaries_exit() {
+    let mut sim = Sim::<u32>::new();
+    let served = Arc::new(AtomicU64::new(0));
+    let served2 = Arc::clone(&served);
+    sim.spawn_daemon("server", move |ctx| {
+        while let Ok(env) = ctx.recv() {
+            served2.fetch_add(1, Ordering::SeqCst);
+            ctx.charge(Dur::from_micros(1));
+            ctx.send(env.from, env.msg * 2, ctx.now() + Dur::from_micros(1));
+        }
+        Ok(())
+    });
+    sim.spawn("client", |ctx| {
+        for i in 0..3u32 {
+            ctx.send(0, i, ctx.now() + Dur::from_micros(1));
+            let env = ctx.recv()?;
+            assert_eq!(env.msg, i * 2);
+        }
+        Ok(())
+    });
+    sim.set_parallel(4, Dur::from_micros(1));
+    sim.assign_group(0, 0);
+    sim.assign_group(1, 1);
+    sim.run().unwrap();
+    assert_eq!(served.load(Ordering::SeqCst), 3);
+}
+
+#[test]
+fn handoff_reports_process_panics() {
+    let mut sim = Sim::<u32>::new();
+    sim.spawn("bang", |ctx| {
+        ctx.sleep(Dur::from_micros(1))?;
+        panic!("boom");
+    });
+    sim.spawn("bystander", |ctx| {
+        let _ = ctx.recv()?;
+        Ok(())
+    });
+    sim.set_parallel(2, Dur::ZERO);
+    match sim.run() {
+        Err(SimError::ProcessPanicked { name, .. }) => assert_eq!(name, "bang"),
+        other => panic!("expected panic report, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_resume_needs_no_duty_transfer() {
+    // A lone process sleeping repeatedly: every wake is a self-resume for
+    // the duty holder — the run needs exactly one duty transfer (startup).
+    let mut sim = Sim::<u32>::new();
+    sim.spawn("loner", |ctx| {
+        for _ in 0..10 {
+            ctx.sleep(Dur::from_micros(1))?;
+        }
+        Ok(())
+    });
+    sim.set_parallel(2, Dur::ZERO);
+    let report = sim.run().unwrap();
+    assert_eq!(report.exec.handoff_switches, 1, "{:?}", report.exec);
+    assert_eq!(report.exec.self_continues, 10, "{:?}", report.exec);
+}

@@ -76,6 +76,15 @@ pub fn tlb_miss() {
     TLB_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// `n` shared-memory accesses were served from one held translation (a
+/// page-run guard): the walk was skipped for each of them, exactly as a
+/// hardware TLB would report one hit per access in the bulk loop. The
+/// guard's *acquisition* probe reports itself separately via
+/// [`tlb_hit`]/[`tlb_miss`].
+pub fn tlb_hits_bulk(n: u64) {
+    TLB_HITS.fetch_add(n, Ordering::Relaxed);
+}
+
 /// The race detector checked one shadow granule against an access.
 /// Host-side like everything here: the detector observes the simulation
 /// and never feeds back into it, so these counters live outside the

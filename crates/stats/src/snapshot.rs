@@ -61,6 +61,13 @@ pub struct NodeSnapshot {
     pub sections: [SectionCounters; 4],
 }
 
+impl NodeSnapshot {
+    /// This node's counters for one section kind.
+    pub fn section(&self, s: Section) -> &SectionCounters {
+        &self.sections[section_idx(s)]
+    }
+}
+
 /// Cluster-wide aggregate over one section kind.
 pub type SectionAgg = SectionCounters;
 
