@@ -1,0 +1,114 @@
+//! Blocked key→page layout of the KV table.
+//!
+//! Keys are blocked contiguously into shards (`shard = key / keys_per_shard`)
+//! so that the zipfian head — keys 0, 1, 2, … in popularity order — lands in
+//! the *lowest* shard instead of spreading across all of them. That choice is
+//! load-bearing for the serving loop: a batch's write burst then enters only
+//! as many named sequential sections as it has *hot shards* (one, at high
+//! skew), rather than paying the section-entry protocol once per shard per
+//! batch. Hot records are also contiguous, so a burst fully dirties a small
+//! run of pages — dense diffs that every node must refetch from the master
+//! under the original protocol, but that replicated sequential execution
+//! materializes locally for free.
+//!
+//! Each shard occupies a whole number of pages, so a shard's sequential
+//! write section touches exactly its own pages and the following parallel
+//! reads fault on freshly-written replicated pages — the contention pattern
+//! the paper's optimization targets.
+
+/// The blocked mapping between keys and flat table indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Total keys; must be a multiple of `n_shards`.
+    pub n_keys: usize,
+    /// Number of shards (each with its own named sequential section).
+    pub n_shards: usize,
+}
+
+impl Layout {
+    /// Build the layout; `n_keys` must divide evenly into shards so the
+    /// mapping is a bijection.
+    pub fn new(n_keys: usize, n_shards: usize) -> Layout {
+        assert!(n_shards >= 1 && n_keys >= n_shards);
+        assert_eq!(n_keys % n_shards, 0, "keys must block evenly into shards");
+        Layout { n_keys, n_shards }
+    }
+
+    /// Keys per shard.
+    pub fn keys_per_shard(self) -> usize {
+        self.n_keys / self.n_shards
+    }
+
+    /// The shard serving `key` (popularity ranks block into the lowest
+    /// shards).
+    pub fn shard_of(self, key: usize) -> usize {
+        debug_assert!(key < self.n_keys);
+        key / self.keys_per_shard()
+    }
+
+    /// Flat table index of `key`: shards are contiguous, keys dense within
+    /// a shard.
+    pub fn flat(self, key: usize) -> usize {
+        debug_assert!(key < self.n_keys);
+        key
+    }
+
+    /// Inverse of [`Layout::flat`].
+    pub fn key_of(self, flat: usize) -> usize {
+        debug_assert!(flat < self.n_keys);
+        flat
+    }
+
+    /// The flat index range shard `s` occupies.
+    pub fn shard_range(self, s: usize) -> std::ops::Range<usize> {
+        debug_assert!(s < self.n_shards);
+        s * self.keys_per_shard()..(s + 1) * self.keys_per_shard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    #[test]
+    fn flat_and_key_of_roundtrip_small() {
+        let l = Layout::new(12, 4);
+        for k in 0..12 {
+            assert_eq!(l.key_of(l.flat(k)), k);
+            assert_eq!(l.shard_of(k), k / 3);
+            assert!(l.shard_range(l.shard_of(k)).contains(&l.flat(k)));
+        }
+    }
+
+    #[test]
+    fn zipf_head_blocks_into_the_lowest_shard() {
+        let l = Layout::new(4096, 8);
+        // The whole head of the popularity distribution shares one section.
+        for k in 0..l.keys_per_shard() {
+            assert_eq!(l.shard_of(k), 0);
+        }
+        assert_eq!(l.shard_of(l.n_keys - 1), 7);
+    }
+
+    proptest! {
+        /// The mapping is a bijection over the shard space: `flat` hits
+        /// every index exactly once, `key_of` inverts it, and every key's
+        /// flat index lies inside its own shard's range.
+        #[test]
+        fn key_to_page_mapping_is_a_bijection(shards in 1usize..64, per_shard in 1usize..64) {
+            let l = Layout::new(shards * per_shard, shards);
+            let mut seen = vec![false; l.n_keys];
+            for k in 0..l.n_keys {
+                let f = l.flat(k);
+                prop_assert!(f < l.n_keys);
+                prop_assert!(!seen[f], "flat index {f} hit twice");
+                seen[f] = true;
+                prop_assert_eq!(l.key_of(f), k);
+                prop_assert!(l.shard_range(l.shard_of(k)).contains(&f));
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+}

@@ -12,8 +12,12 @@
 //!   structure: a master-reinitialized genarray bank, cyclic parallel
 //!   updates guarded by an `if` clause, and master-side reduction (§6.2);
 //! * [`kernels`] — a distilled contention microkernel for demos and
-//!   ablations.
+//!   ablations;
+//! * [`kv`] — a sharded key-value store with an open-loop zipfian load
+//!   generator: the serving workload (per-shard sequential write sections,
+//!   parallel hot-key reads) the paper's batch apps cannot express.
 
 pub mod barnes_hut;
 pub mod ilink;
 pub mod kernels;
+pub mod kv;

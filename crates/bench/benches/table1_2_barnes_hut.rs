@@ -80,9 +80,18 @@ fn main() {
         opt.snap.par_agg().avg_response().unwrap_or_default().nanos() * 2
             < orig.snap.par_agg().avg_response().unwrap_or_default().nanos(),
     );
+    // The paper's Table 2 shows sequential-section messages *growing*
+    // under replication (valid-notice traffic outweighs the saved
+    // fetches). This repo deliberately deviates: section-retired pages
+    // are common-knowledge valid and are no longer re-announced, and the
+    // request/go sweeps are single multicasts, so replication now
+    // *reduces* section messages too. The paper's directional claim —
+    // replication adds sequential-section *time* overhead — is the
+    // check above; here we pin the post-optimization direction.
     shape_check(
-        "Sequential-section messages grow under replication",
-        opt.snap.seq_agg().messages > orig.snap.seq_agg().messages,
+        "Sequential-section messages shrink under replication (implied-validity optimization; \
+         the paper's unoptimized exchange grew them)",
+        opt.snap.seq_agg().messages < orig.snap.seq_agg().messages,
     );
 
     print_host_counters("all three Barnes-Hut runs", &repseq_stats::host::snapshot());

@@ -32,7 +32,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use repseq_apps::barnes_hut::{BhConfig, BhResult};
-use repseq_bench::{bh_config, run_barnes, run_barnes_report, RunOutcome, Scale};
+use repseq_apps::kv::KvResult;
+use repseq_bench::{bh_config, run_barnes, run_barnes_report, run_kv, RunOutcome, Scale};
 use repseq_core::SeqMode;
 use repseq_dsm::{Cluster, ClusterConfig, Diff, DsmNode, ShArray};
 use repseq_sim::Stopped;
@@ -431,6 +432,70 @@ fn write_bench_modes(
 }
 
 // ---------------------------------------------------------------
+// KV serving sweep: open-loop zipfian traffic across skews
+// ---------------------------------------------------------------
+
+/// One measured point of the KV sweep: all three strategies on the same
+/// trace at one (nodes, skew) coordinate.
+struct KvPoint {
+    nodes: usize,
+    theta: f64,
+    n_requests: usize,
+    orig: RunOutcome<KvResult>,
+    push: RunOutcome<KvResult>,
+    rse: RunOutcome<KvResult>,
+}
+
+/// The serving-workload artifact: per-strategy throughput and tail
+/// latency across the skew grid, at every node count. Request latencies
+/// are open-loop (queueing delay included) over *virtual* time, so the
+/// tails measure protocol contention, not host scheduling. The
+/// fingerprint gate has already run by the time this is written.
+fn write_bench_kv(points: &[KvPoint], commit: &str) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"kv_serving_zipfian\",\n");
+    let _ = writeln!(s, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(s, "  \"commit\": \"{commit}\",");
+    s.push_str(
+        "  \"note\": \"open-loop zipfian KV serving: reads fan out cyclically across nodes, writes run as per-shard named sequential sections. latencies are virtual nanoseconds from request arrival to completion (queueing included); identical request traces and final-table fingerprints across strategies are asserted before this file is written\",\n",
+    );
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let one = |tag: &str, o: &RunOutcome<KvResult>| {
+            let mut t = String::new();
+            let _ = writeln!(t, "      \"{tag}\": {{");
+            let _ = writeln!(t, "        \"throughput_rps\": {:.1},", o.result.throughput_rps);
+            let _ = writeln!(t, "        \"p50_ns\": {},", o.result.p50_ns);
+            let _ = writeln!(t, "        \"p99_ns\": {},", o.result.p99_ns);
+            let _ = writeln!(t, "        \"p999_ns\": {},", o.result.p999_ns);
+            let _ = writeln!(t, "        \"time_s\": {:.6}", o.result.total.as_secs_f64());
+            t.push_str("      }");
+            t
+        };
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"nodes\": {},", p.nodes);
+        let _ = writeln!(s, "      \"zipf_theta\": {},", p.theta);
+        let _ = writeln!(s, "      \"requests\": {},", p.n_requests);
+        let _ = writeln!(s, "      \"fingerprint\": \"{:#018x}\",", p.orig.result.fingerprint);
+        s.push_str(&one("master_only", &p.orig));
+        s.push_str(",\n");
+        s.push_str(&one("master_push", &p.push));
+        s.push_str(",\n");
+        s.push_str(&one("rse", &p.rse));
+        s.push_str(",\n");
+        let _ = writeln!(
+            s,
+            "      \"rse_vs_master_only_throughput\": {:.3}",
+            p.rse.result.throughput_rps / p.orig.result.throughput_rps
+        );
+        s.push_str(if i + 1 == points.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_kv.json", s)
+}
+
+// ---------------------------------------------------------------
 // Host-execution bench: serial coordinator loop vs duty-handoff
 // ---------------------------------------------------------------
 
@@ -731,4 +796,71 @@ fn main() {
     )
     .expect("writing BENCH_modes.json");
     println!("wrote BENCH_modes.json");
+
+    // KV serving sweep: the open-loop zipfian workload across skews and
+    // node counts, all three strategies on the same trace at each point.
+    // Two gates before anything is written: every strategy must agree on
+    // the final table fingerprint, the served-read XOR, and the request
+    // counts at every point (a divergence means a stale page was served);
+    // and at the highest skew RSE must beat MasterOnly on throughput —
+    // the paper's contention-elimination claim, restated for serving.
+    let kv_nodes: Vec<usize> = std::env::var("REPSEQ_BENCH_KV_NODES")
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    let kv_nodes = if kv_nodes.is_empty() { vec![32, 64, 256] } else { kv_nodes };
+    let skews = [0.2f64, 0.99, 1.2];
+    // Record-sized values regardless of smoke scale — like the strategy
+    // comparison above, the tiny test config would make the sections too
+    // small to be worth contending over. Only the trace length shrinks.
+    let kv_base = repseq_apps::kv::KvConfig::scaled(match scale {
+        Scale::Tiny => 512,
+        Scale::Default => 1024,
+        Scale::Full => 4096,
+    });
+    let mut points = Vec::new();
+    for &kn in &kv_nodes {
+        for &theta in &skews {
+            let cfg = kv_base.clone().with_skew(theta).weak_scaled(kn);
+            let n_requests = cfg.n_requests;
+            println!("KV serving: {kn} nodes, theta {theta}, {n_requests} requests...");
+            let orig = run_kv(SeqMode::MasterOnly, kn, cfg.clone());
+            let push = run_kv(SeqMode::MasterPush, kn, cfg.clone());
+            let rse = run_kv(SeqMode::Replicated, kn, cfg);
+            for (tag, o) in [("master_push", &push), ("rse", &rse)] {
+                assert_eq!(
+                    (o.result.fingerprint, o.result.read_xor, o.result.reads, o.result.writes),
+                    (
+                        orig.result.fingerprint,
+                        orig.result.read_xor,
+                        orig.result.reads,
+                        orig.result.writes
+                    ),
+                    "{tag} diverged from master_only at {kn} nodes, theta {theta}: \
+                     a replicated or pushed page served stale data"
+                );
+            }
+            println!(
+                "  master_only {:>9.0} rps (p99 {:>7.2} ms)   master_push {:>9.0} rps   \
+                 rse {:>9.0} rps (p99 {:>7.2} ms)",
+                orig.result.throughput_rps,
+                orig.result.p99_ns as f64 / 1e6,
+                push.result.throughput_rps,
+                rse.result.throughput_rps,
+                rse.result.p99_ns as f64 / 1e6
+            );
+            points.push(KvPoint { nodes: kn, theta, n_requests, orig, push, rse });
+        }
+        let hot = points.last().expect("highest-skew point recorded");
+        assert!(
+            hot.rse.result.throughput_rps >= hot.orig.result.throughput_rps,
+            "RSE must beat MasterOnly on throughput at theta {} with {kn} nodes \
+             (rse {:.0} vs master_only {:.0} rps): replicating the hot shard's \
+             write sections is the whole point under skew",
+            hot.theta,
+            hot.rse.result.throughput_rps,
+            hot.orig.result.throughput_rps
+        );
+    }
+    write_bench_kv(&points, &commit).expect("writing BENCH_kv.json");
+    println!("wrote BENCH_kv.json");
 }

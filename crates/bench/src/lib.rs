@@ -16,6 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use repseq_apps::barnes_hut::{BarnesHut, BhConfig, BhResult};
 use repseq_apps::ilink::{Ilink, IlinkConfig, IlinkResult};
+use repseq_apps::kv::{KvConfig, KvResult, KvStore};
 use repseq_core::{RunConfig, Runtime, SeqMode};
 use repseq_dsm::ClusterConfig;
 use repseq_sim::{Dur, SimReport};
@@ -60,6 +61,15 @@ pub fn ilink_config(scale: Scale) -> IlinkConfig {
         Scale::Full => IlinkConfig::paper(),
         Scale::Default => IlinkConfig::scaled(16),
         Scale::Tiny => IlinkConfig::tiny(),
+    }
+}
+
+/// The KV-serving configuration for a scale.
+pub fn kv_config(scale: Scale) -> KvConfig {
+    match scale {
+        Scale::Full => KvConfig::paper(),
+        Scale::Default => KvConfig::scaled(1024),
+        Scale::Tiny => KvConfig::tiny(),
     }
 }
 
@@ -115,6 +125,23 @@ pub fn run_barnes_report(
         .expect("barnes-hut run failed");
     let result = out.lock().take().unwrap();
     (RunOutcome { result, snap: stats.snapshot() }, report)
+}
+
+/// Run the KV-serving workload under `mode` on `n` nodes.
+pub fn run_kv(mode: SeqMode, n: usize, cfg: KvConfig) -> RunOutcome<KvResult> {
+    let mut rt = Runtime::new(RunConfig { cluster: ClusterConfig::paper(n), seq_mode: mode });
+    let app = KvStore::setup(&mut rt, cfg);
+    let stats = rt.stats();
+    let out = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    rt.run(move |team| {
+        let r = app.run(team)?;
+        *out2.lock() = Some(r);
+        Ok(())
+    })
+    .expect("kv run failed");
+    let result = out.lock().take().unwrap();
+    RunOutcome { result, snap: stats.snapshot() }
 }
 
 /// Run Ilink under `mode` on `n` nodes.

@@ -28,7 +28,12 @@ fn every_bench_artifact_carries_schema_version_and_commit() {
     }
     found.sort();
     assert!(
-        found.len() >= 5,
-        "expected the committed BENCH artifacts (diff, mmu, table1, modes, host), found {found:?}"
+        found.len() >= 6,
+        "expected the committed BENCH artifacts (diff, mmu, table1, modes, host, kv), \
+         found {found:?}"
+    );
+    assert!(
+        found.iter().any(|n| n == "BENCH_kv.json"),
+        "the KV serving sweep artifact must be committed, found {found:?}"
     );
 }

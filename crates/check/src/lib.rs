@@ -34,4 +34,4 @@ pub use harness::{
 };
 pub use oracle::{DsmMem, Mem, OracleViolation, RefMem, Snapshot};
 pub use race::{AccessRecord, Race, RaceDetector, RaceReport};
-pub use workload::{kitchen_sink, rse_kernel, Builder, Phase, Workload};
+pub use workload::{kitchen_sink, kv_serving, rse_kernel, Builder, Phase, Workload};

@@ -154,3 +154,79 @@ pub fn kitchen_sink(cl: &mut Cluster, n: usize) -> Workload {
     audit.dedup();
     Workload { name: "kitchen_sink", phases, audit }
 }
+
+/// The KV serving loop as a torture workload: a miniature of
+/// `repseq_apps::kv` phrased over [`Mem`] so the oracle and the race
+/// certifier cover the serving shape — per-shard replicated write
+/// sections applying a zipfian batch's updates, alternating with a
+/// parallel phase where every node serves the batch's reads cyclically
+/// and folds what it saw into a per-node slot. Key→page placement, value
+/// derivation, and the trace generator are the real ones from the apps
+/// crate, so a divergence here indicts the serving path itself.
+pub fn kv_serving(cl: &mut Cluster, _n: usize) -> Workload {
+    use repseq_apps::kv::{splitmix64, trace, Layout};
+
+    let page_size = cl.config().dsm.page_size;
+    let per_page = page_size / 8;
+    // One page per shard: keys_per_shard * record_slots == per_page.
+    let record_slots = 8usize;
+    let n_shards = 4usize;
+    let n_keys = n_shards * per_page / record_slots;
+    let lay = Layout::new(n_keys, n_shards);
+    let seed = 0x5eed_2001u64;
+    let (reqs, _) = trace::generate(seed, 64, n_keys, 0.99, 700, 1_000_000.0);
+    let batch = 32usize;
+
+    let table: ShArray<u64> = cl.alloc_array_page_aligned(n_keys * record_slots);
+    let served: ShArray<u64> = cl.alloc_array_page_aligned(per_page);
+    let mut phases = Vec::new();
+    for (b, chunk) in reqs.chunks(batch).enumerate() {
+        // The batch's writes, grouped by shard, applied in one replicated
+        // section per touched shard (the app's per-shard write sections).
+        for s in 0..n_shards {
+            let writes: Vec<(usize, u64)> = chunk
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.write && lay.shard_of(r.key as usize) == s)
+                .map(|(i, r)| (r.key as usize, (b * batch + i) as u64))
+                .collect();
+            if writes.is_empty() {
+                continue;
+            }
+            let writes = Arc::new(writes);
+            phases.push(Phase::Replicated(Arc::new(move |m: &mut dyn Mem| {
+                for &(key, write_seq) in writes.iter() {
+                    let val = splitmix64(seed ^ ((key as u64) << 24) ^ write_seq);
+                    let base = lay.flat(key) * record_slots;
+                    for j in 0..record_slots {
+                        m.st(table.addr(base + j), splitmix64(val ^ j as u64))?;
+                    }
+                }
+                Ok(())
+            }) as RepBody));
+        }
+        // Cyclic read serving: node `me` takes every n-th read and XORs
+        // the record it observed into its own slot (disjoint per node, so
+        // the reference's sequential replay commutes).
+        let reads: Vec<usize> = chunk.iter().filter(|r| !r.write).map(|r| r.key as usize).collect();
+        let reads = Arc::new(reads);
+        phases.push(Phase::Parallel(Arc::new(move |m: &mut dyn Mem, me: usize, n: usize| {
+            let mut fold = m.ld(served.addr(me))?;
+            for (i, &key) in reads.iter().enumerate() {
+                if i % n != me {
+                    continue;
+                }
+                let base = lay.flat(key) * record_slots;
+                for j in 0..record_slots {
+                    fold ^= m.ld(table.addr(base + j))?.rotate_left(j as u32);
+                }
+            }
+            m.st(served.addr(me), fold)
+        }) as ParBody));
+    }
+    let mut audit = audit_of(table, page_size);
+    audit.extend(audit_of(served, page_size));
+    audit.sort_unstable();
+    audit.dedup();
+    Workload { name: "kv_serving", phases, audit }
+}

@@ -187,3 +187,36 @@ fn report_and_stats_identical_across_thread_counts() {
     let threaded = run(4);
     assert_eq!(serial, threaded, "host_threads=4 diverged from serial execution");
 }
+
+/// The zipfian load generator and the KV serving run are bit-identical
+/// across host thread counts. The trace uses counter-based hashing (no
+/// host RNG, no iteration-order state), so its hash must not move; and
+/// the full rendered report — virtual end time, statistics, fingerprint,
+/// tail latencies — must match byte for byte between the serial
+/// coordinator and duty-handoff scheduling.
+#[test]
+fn kv_trace_and_run_identical_across_thread_counts() {
+    use repseq_apps::kv::{KvConfig, KvStore};
+    let run = |threads: usize| {
+        let mut cfg = RunConfig::optimized(PIN_NODES);
+        cfg.cluster.host_threads = threads;
+        let mut rt = Runtime::new(cfg);
+        let kv = KvStore::setup(&mut rt, KvConfig::tiny());
+        let trace_hash = kv.trace_hash();
+        let stats = rt.stats();
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let report = rt
+            .run(move |team| {
+                *slot.lock() = Some(kv.run(team)?);
+                Ok(())
+            })
+            .expect("run must complete");
+        let r = result.lock().take().expect("result recorded");
+        (trace_hash, render(&report, &stats.snapshot(), &format!("{r:?}")))
+    };
+    let (hash1, serial) = run(1);
+    let (hash2, threaded) = run(2);
+    assert_eq!(hash1, hash2, "zipfian trace diverged across host thread counts");
+    assert_eq!(serial, threaded, "KV run at host_threads=2 diverged from serial execution");
+}

@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 use repseq_apps::barnes_hut::{BarnesHut, BhConfig, BhResult};
 use repseq_apps::ilink::{Ilink, IlinkConfig, IlinkResult};
+use repseq_apps::kv::{KvConfig, KvResult, KvStore};
 use repseq_check::{
     kitchen_sink, rse_kernel, run_schedule_instrumented, HarnessConfig, RaceDetector, RaceReport,
     Schedule,
@@ -286,6 +287,31 @@ fn run_ilink(cfg: RunConfig, det: Option<Arc<RaceDetector>>) -> (IlinkResult, Ap
     (r, fp)
 }
 
+fn run_kv(cfg: RunConfig, det: Option<Arc<RaceDetector>>) -> (KvResult, AppFingerprint) {
+    let mut rt = Runtime::new(cfg);
+    if let Some(d) = det {
+        rt.set_race_sink(d as Arc<dyn RaceSink>);
+    }
+    let kv = KvStore::setup(&mut rt, KvConfig::tiny());
+    let stats = rt.stats();
+    let result: Arc<Mutex<Option<KvResult>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let report = rt
+        .run(move |team| {
+            *slot.lock() = Some(kv.run(team)?);
+            Ok(())
+        })
+        .expect("KV run must complete");
+    let r = result.lock().take().expect("KV result recorded");
+    let fp = AppFingerprint {
+        end_time: report.end_time,
+        proc_clocks: report.proc_clocks,
+        events: report.events_processed,
+        stats: stats.snapshot(),
+    };
+    (r, fp)
+}
+
 /// Write the report JSON where the CI `race-certify` job collects
 /// artifacts (`target/tmp/RACE_*.json`).
 fn write_artifact(name: &str, rep: &RaceReport) {
@@ -323,6 +349,25 @@ fn ilink_certifies_race_free_and_detector_is_invariant() {
         let det = detector_for(&cfg);
         let (r_on, fp_on) = run_ilink(cfg.clone(), Some(Arc::clone(&det)));
         let (r_off, fp_off) = run_ilink(cfg, None);
+        let rep = det.report();
+        write_artifact(tag, &rep);
+        assert!(rep.is_clean(), "{tag}: expected a race-free run:\n{}", rep.render());
+        assert!(rep.checks > 0, "{tag}: the detector must have observed accesses");
+        assert_eq!(r_on, r_off, "{tag}: detector changed the computed result");
+        assert_eq!(fp_on, fp_off, "{tag}: detector perturbed the simulation");
+    }
+}
+
+#[test]
+fn kv_certifies_race_free_and_detector_is_invariant() {
+    for (tag, cfg) in [
+        ("kv_rse_off", RunConfig::original(CERT_NODES)),
+        ("kv_rse_on", RunConfig::optimized(CERT_NODES)),
+        ("kv_push", RunConfig::master_push(CERT_NODES)),
+    ] {
+        let det = detector_for(&cfg);
+        let (r_on, fp_on) = run_kv(cfg.clone(), Some(Arc::clone(&det)));
+        let (r_off, fp_off) = run_kv(cfg, None);
         let rep = det.report();
         write_artifact(tag, &rep);
         assert!(rep.is_clean(), "{tag}: expected a race-free run:\n{}", rep.render());

@@ -6,7 +6,8 @@
 use std::time::Instant;
 
 use repseq_check::{
-    grid, kitchen_sink, rse_kernel, run_schedule, sweep, Builder, HarnessConfig, Schedule,
+    grid, kitchen_sink, kv_serving, rse_kernel, run_schedule, sweep, Builder, HarnessConfig,
+    Schedule,
 };
 use repseq_dsm::SeqExecMode;
 
@@ -46,7 +47,7 @@ fn clean_runs_satisfy_the_oracle() {
     let clean = Schedule { seed: 0, drop_per_mille: 0, unicast: false };
     for seq_exec in [SeqExecMode::MasterOnly, SeqExecMode::Rse, SeqExecMode::MasterPush] {
         let cfg = HarnessConfig { seq_exec, ..HarnessConfig::default() };
-        for build in [rse_kernel, kitchen_sink] {
+        for build in [rse_kernel, kitchen_sink, kv_serving] {
             let out = run_schedule(build, &cfg, clean).unwrap_or_else(|r| panic!("{r}"));
             assert_eq!(out.drops, 0);
         }
@@ -90,6 +91,23 @@ fn torture_sweep_kitchen_sink_shard0() {
 fn torture_sweep_kitchen_sink_shard1() {
     let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
     shard("kitchen_sink/1", kitchen_sink, &cfg, 5..10, &[150, 350]);
+}
+
+/// The KV serving loop under loss: per-shard replicated write sections
+/// interleaved with cyclic read serving, the shape where a stale hot page
+/// served to a read is a silent wrong answer rather than a crash. Every
+/// schedule must still converge to reference memory (2 × 20-schedule
+/// grid, mirroring the kitchen-sink shards).
+#[test]
+fn torture_sweep_kv_serving_shard0() {
+    let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
+    shard("kv_serving/0", kv_serving, &cfg, 0..5, &[150, 350]);
+}
+
+#[test]
+fn torture_sweep_kv_serving_shard1() {
+    let cfg = HarnessConfig { nodes: 4, ..HarnessConfig::default() };
+    shard("kv_serving/1", kv_serving, &cfg, 5..10, &[150, 350]);
 }
 
 /// The MasterPush strategy under loss: a dropped `PageBroadcast` frame

@@ -93,7 +93,10 @@ impl DsmNode {
             // A duplicate reply from the resend layer whose original won
             // the race: only fetch loops consume replies (matched by
             // req_id), so outside one a reply is always stale.
-            DsmMsg::DiffReply { .. } => true,
+            DsmMsg::DiffReply { .. } => {
+                self.topo.stats.on_stale_reply(self.node());
+                true
+            }
             _ => false,
         }
     }

@@ -208,17 +208,27 @@ impl DsmNode {
                 };
                 match classify_reply(env.msg, p, req_id) {
                     ReplyClass::Matching(diffs) => {
-                        let owner = self
-                            .topo
-                            .handler_pids
-                            .iter()
-                            .position(|&h| h == env.from)
-                            .expect("diff reply from unknown handler");
+                        // A reply from a pid that is not a protocol handler
+                        // is a straggler from a *retired* exchange (e.g. an
+                        // RSE out-of-band reply sent by an app process whose
+                        // req_seq collides with our req_id): the sender, not
+                        // the id, proves it cannot answer this fetch. Absorb
+                        // it like any other stale duplicate instead of
+                        // killing the node.
+                        let Some(owner) =
+                            self.topo.handler_pids.iter().position(|&h| h == env.from)
+                        else {
+                            self.topo.stats.on_stale_reply(node);
+                            continue;
+                        };
                         let mut st = self.st.lock();
                         st.cache_diffs(p, &diffs);
                         outstanding.remove(&owner);
                     }
-                    ReplyClass::Stale => { /* reply to an aborted fetch: ignore */ }
+                    ReplyClass::Stale => {
+                        // Reply to an aborted fetch: count it, drop it.
+                        self.topo.stats.on_stale_reply(node);
+                    }
                     ReplyClass::Other(other) => {
                         if !self.absorb_stray(other) {
                             panic!("node {node}: unexpected message while fetching page {p}");
@@ -397,6 +407,67 @@ mod tests {
             stale_absorbed.load(Ordering::SeqCst),
             1,
             "round B must absorb exactly the one stale duplicate from round A"
+        );
+    }
+
+    /// Regression: a `DiffReply` whose `req_id` collides with the
+    /// outstanding fetch but whose *sender* is not a protocol handler — a
+    /// straggler from a retired exchange, such as an RSE out-of-band reply
+    /// sent by an application process — used to kill the node with
+    /// `expect("diff reply from unknown handler")`. It must be absorbed and
+    /// counted instead. The retry timeout is set below the request/reply
+    /// round trip, so every genuine reply is also delayed past at least one
+    /// `RetryTimer` resend and the resend duplicates are absorbed
+    /// downstream of the fetch.
+    #[test]
+    fn matching_reply_from_unknown_sender_is_absorbed_not_fatal() {
+        use repseq_stats::Stats;
+
+        use crate::cluster::{AppFn, Cluster, ClusterConfig};
+        use crate::shmem::ShArray;
+
+        let n = 2;
+        let stats = Stats::new(n);
+        let mut cfg = ClusterConfig::paper(n);
+        // Below the ~200 us unicast round trip: the fetch times out and
+        // resends before any genuine reply can arrive.
+        cfg.dsm.rse_timeout = Dur::from_micros(60);
+        cfg.dsm.rse_max_retries = 30;
+        let mut cl = Cluster::new(cfg, std::sync::Arc::clone(&stats));
+        let x: ShArray<u64> = cl.alloc_array_page_aligned(8);
+
+        let master: AppFn = Box::new(move |node| {
+            node.barrier()?;
+            // Fetches node 1's write; the forged reply (below) is already
+            // queued or in flight and is consumed inside this fetch loop.
+            assert_eq!(x.get(&node, 0)?, 42);
+            node.barrier()?;
+            // Drain the resend-race duplicates so they are absorbed while
+            // the process is still alive.
+            while let Some(env) = node.ctx().recv_timeout(Dur::from_millis(2))? {
+                assert!(node.absorb_stray(env.msg), "only strays expected after the run");
+            }
+            Ok(())
+        });
+        let writer: AppFn = Box::new(move |node| {
+            x.set(&node, 0, 42)?;
+            node.barrier()?;
+            // Forge the straggler: a reply for the page the master is about
+            // to fetch, carrying the colliding req_id 1, sent from this
+            // *application* pid (pid 3 — not in handler_pids).
+            let page = (x.addr(0) / node.page_size() as u64) as PageId;
+            let msg = DsmMsg::DiffReply { page, diffs: Vec::new(), req_id: 1 };
+            node.ctx().send(2, msg, node.ctx().now() + Dur::from_micros(20));
+            node.barrier()?;
+            Ok(())
+        });
+        cl.launch(vec![master, writer]).expect("forged reply must not kill the fetch");
+
+        let stale = stats.snapshot().total_agg_with_startup().stale_replies;
+        assert!(
+            stale >= 2,
+            "expected the forged reply plus at least one resend duplicate to be \
+             absorbed and counted, got {stale}"
         );
     }
 }

@@ -37,11 +37,15 @@ impl DsmNode {
         let n = self.topo.n;
         let t0 = self.ctx.now();
 
-        // 1. Collect everyone's valid-notice deltas.
-        for s in 1..n {
+        // 1. Collect everyone's valid-notice deltas. The request carries
+        //    the same few bytes to every slave, so it goes out as ONE
+        //    multicast over the hub — n-1 unicasts would serialize ~n
+        //    send overheads on the master's CPU at every section entry.
+        if n > 1 {
+            let slave_apps: Vec<_> = (1..n).map(|s| (s, self.topo.app_pids[s])).collect();
             let msg = DsmMsg::ValidNoticeRequest { reply_to: self.ctx.pid() };
             let size = msg.wire_size();
-            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::ValidNotice, size, msg);
+            self.nic.multicast_reliable(&self.ctx, &slave_apps, MsgClass::ValidNotice, size, msg);
         }
         let mut table: Vec<(NodeId, PageId, Vc)> = {
             let mut st = self.st.lock();
@@ -133,10 +137,19 @@ impl DsmNode {
                 other => panic!("master: unexpected {} ending replicated section", other.kind()),
             }
         }
-        for s in 1..n {
+        // The release is identical for every slave: one multicast, not n-1
+        // serialized unicasts. The master blocks until delivery — its next
+        // fork goes over the *switch* and must not overtake the hub frame,
+        // or a slave still waiting for SeqGo would see the Fork first.
+        if n > 1 {
+            let slave_apps: Vec<_> = (1..n).map(|s| (s, self.topo.app_pids[s])).collect();
             let msg = DsmMsg::SeqGo;
             let size = msg.wire_size();
-            self.nic.unicast(&self.ctx, s, self.topo.app_pids[s], MsgClass::Sync, size, msg);
+            let at = self.nic.multicast_reliable(&self.ctx, &slave_apps, MsgClass::Sync, size, msg);
+            let now = self.ctx.now();
+            if at > now {
+                self.ctx.sleep(at - now)?;
+            }
         }
         self.ctx.charge(self.sync_cost());
         self.st.lock().exit_replicated();

@@ -204,7 +204,8 @@ impl NodeState {
             }
         }
         let entry_vc = self.rse.entry_vc.clone();
-        for p in std::mem::take(&mut self.rse.dirty) {
+        let retired = std::mem::take(&mut self.rse.dirty);
+        for &p in &retired {
             if let Some(twin) = self.page_mut(p).twin.take() {
                 pool_recycle(&mut self.data.twin_pool, self.data.twin_pool_cap, twin);
             }
@@ -213,10 +214,23 @@ impl NodeState {
             page.rse_dirty = false;
             page.valid = true;
             page.valid_at = entry_vc.clone();
-            self.rse.valid_changed.insert(p);
             // Section retirement re-protected the page written in it; the
             // retired copy stays valid, so reads may keep their entries.
             self.bump_page_write_prot_gen(p);
+        }
+        // Pages retired by a replicated section are valid on *every* node
+        // by construction — each node executed the same writes at the same
+        // vector time — so their validity is common knowledge. Record it
+        // locally for all peers instead of re-announcing it (with O(n)
+        // vector clocks per entry, from all n nodes) in the next
+        // valid-notice exchange: at hundreds of nodes those redundant
+        // notices dominated the section's wire traffic.
+        let n = self.n;
+        for &p in &retired {
+            self.rse.valid_changed.remove(&p);
+            for q in 0..n {
+                self.rse.valid_known[q].insert(p, entry_vc.clone());
+            }
         }
         self.rse.waiting_page = None;
         self.rse.requested.clear();

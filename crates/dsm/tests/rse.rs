@@ -273,7 +273,7 @@ fn lazy_diff_leak_is_prevented_end_to_end() {
 }
 
 /// The valid-notice exchange costs what the paper says it costs: one
-/// request and one reply per slave, plus the table distribution.
+/// multicast request, one reply per slave, plus the table distribution.
 #[test]
 fn valid_notice_exchange_message_count() {
     let n = 4;
@@ -290,9 +290,9 @@ fn valid_notice_exchange_message_count() {
     });
     cl.launch(apps).unwrap();
     let snap = stats.snapshot();
-    // Per replicated section: (n-1) requests + (n-1) replies + 1 multicast
-    // table.
-    assert_eq!(snap.seq_agg().valid_notice_msgs, 2 * (2 * (n as u64 - 1) + 1));
+    // Per replicated section: 1 multicast request + (n-1) replies + 1
+    // multicast table.
+    assert_eq!(snap.seq_agg().valid_notice_msgs, 2 * (1 + (n as u64 - 1) + 1));
 }
 
 /// Multicast loss: the timeout-recovery path (§5.4.2) still converges to

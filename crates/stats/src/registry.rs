@@ -197,6 +197,17 @@ impl Stats {
         }
     }
 
+    /// Record a stale diff reply absorbed by `node` (a resend-race
+    /// duplicate, or a reply whose fetch was already retired).
+    pub fn on_stale_reply(&self, node: NodeId) {
+        let mut i = self.inner.lock();
+        if i.frozen {
+            return;
+        }
+        let s = i.current;
+        i.nodes[node].sections[section_idx(s)].stale_replies += 1;
+    }
+
     /// Record a page fault taken by `node`.
     pub fn on_page_fault(&self, node: NodeId) {
         let mut i = self.inner.lock();

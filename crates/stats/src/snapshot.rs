@@ -26,6 +26,9 @@ pub struct SectionCounters {
     pub forwarded_requests: u64,
     /// Valid-notice messages (§5.4.1).
     pub valid_notice_msgs: u64,
+    /// Stale diff replies absorbed (duplicates produced by the
+    /// timeout/resend discipline, §5.4.2 — dropped, never applied).
+    pub stale_replies: u64,
     /// Page faults taken.
     pub page_faults: u64,
     /// Diff-request operations (faults that fetched diffs).
@@ -47,6 +50,7 @@ impl SectionCounters {
         self.null_acks += o.null_acks;
         self.forwarded_requests += o.forwarded_requests;
         self.valid_notice_msgs += o.valid_notice_msgs;
+        self.stale_replies += o.stale_replies;
         self.page_faults += o.page_faults;
         self.diff_requests += o.diff_requests;
         self.response_time_total += o.response_time_total;
