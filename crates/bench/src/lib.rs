@@ -19,7 +19,7 @@ use repseq_apps::ilink::{Ilink, IlinkConfig, IlinkResult};
 use repseq_apps::kv::{KvConfig, KvResult, KvStore};
 use repseq_core::{RunConfig, Runtime, SeqMode};
 use repseq_dsm::ClusterConfig;
-use repseq_sim::{Dur, SimReport};
+use repseq_sim::{Dur, HostExec, SimReport};
 use repseq_stats::{Section, StatsSnapshot};
 
 /// Benchmark scale, from `REPSEQ_SCALE`.
@@ -97,10 +97,12 @@ pub fn run_barnes_config(
     run_barnes_report(mode, n, cfg, tlb_enabled, 1).0
 }
 
-/// Like [`run_barnes_config`], but also selects the host-execution mode
+/// Like [`run_barnes_config`], but also selects the host thread count
 /// (`host_threads`, see `ClusterConfig`) and returns the kernel's
 /// [`SimReport`] alongside the outcome — the host-execution bench compares
-/// reports across thread counts and derives events/sec from them.
+/// reports across thread counts and derives events/sec from them. Uses the
+/// automatic execution-mode promotion (serial at 1 thread, window-parallel
+/// at ≥ 2).
 pub fn run_barnes_report(
     mode: SeqMode,
     n: usize,
@@ -108,9 +110,25 @@ pub fn run_barnes_report(
     tlb_enabled: bool,
     host_threads: usize,
 ) -> (RunOutcome<BhResult>, SimReport) {
+    run_barnes_exec(mode, n, cfg, tlb_enabled, host_threads, None)
+}
+
+/// The fully explicit Barnes-Hut runner: thread count *and* forced host
+/// execution mode (`None` = automatic promotion). The host-execution bench
+/// uses this to put the serial coordinator, duty-handoff and
+/// window-parallel engines side by side at the same thread count.
+pub fn run_barnes_exec(
+    mode: SeqMode,
+    n: usize,
+    cfg: BhConfig,
+    tlb_enabled: bool,
+    host_threads: usize,
+    host_exec: Option<HostExec>,
+) -> (RunOutcome<BhResult>, SimReport) {
     let mut cluster = ClusterConfig::paper(n);
     cluster.dsm.tlb_enabled = tlb_enabled;
     cluster.host_threads = host_threads;
+    cluster.host_exec = host_exec;
     let mut rt = Runtime::new(RunConfig { cluster, seq_mode: mode });
     let app = BarnesHut::setup(&mut rt, cfg);
     let stats = rt.stats();
@@ -313,6 +331,10 @@ pub fn print_host_counters(title: &str, h: &repseq_stats::HostCounters) {
     println!(
         "twin pool:   {:>10} hits   {:>10} misses  ({} page allocations avoided)",
         h.twin_pool_hits, h.twin_pool_misses, h.twin_pool_hits,
+    );
+    println!(
+        "scratch:     {:>10} hits   {:>10} misses  ({} small-vector allocations avoided)",
+        h.scratch_pool_hits, h.scratch_pool_misses, h.scratch_pool_hits,
     );
     let tlb_total = h.tlb_hits + h.tlb_misses;
     let tlb_rate = if tlb_total == 0 { 0.0 } else { 100.0 * h.tlb_hits as f64 / tlb_total as f64 };

@@ -37,3 +37,32 @@ fn every_bench_artifact_carries_schema_version_and_commit() {
         "the KV serving sweep artifact must be committed, found {found:?}"
     );
 }
+
+/// The committed host-execution artifact must be at the v3 schema and
+/// carry the window-parallel column: per-cluster `parallel` runs with the
+/// window engine's counters next to the serial and duty-handoff baselines.
+#[test]
+fn host_artifact_records_window_parallel_runs() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let host = std::fs::read_to_string(root.join("BENCH_host.json"))
+        .expect("BENCH_host.json must be committed");
+    assert!(
+        host.contains("\"schema_version\": 3"),
+        "BENCH_host.json must carry the v3 schema (window-parallel column)"
+    );
+    for key in [
+        "\"parallel\":",
+        "\"parallel_threads\":",
+        "\"host_cpus\":",
+        "\"windows\":",
+        "\"max_parallel_groups\":",
+        "\"barrier_stalls\":",
+        "\"handoff_speedup\":",
+        "\"parallel_speedup\":",
+    ] {
+        assert!(
+            host.contains(key),
+            "BENCH_host.json v3 must record the window-parallel runs: missing {key}"
+        );
+    }
+}

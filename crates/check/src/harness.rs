@@ -64,6 +64,10 @@ pub struct HarnessConfig {
     /// `ClusterConfig::host_threads`). Every fingerprint, oracle and pin in
     /// this crate must be bit-identical across values of this knob.
     pub host_threads: usize,
+    /// Forced host execution mode (see `ClusterConfig::host_exec`): `None`
+    /// auto-promotes ≥ 2 threads to window-parallel; `Some(mode)` pins the
+    /// engine so the exec-mode matrix can cover duty-handoff explicitly.
+    pub host_exec: Option<repseq_sim::HostExec>,
 }
 
 impl Default for HarnessConfig {
@@ -74,6 +78,7 @@ impl Default for HarnessConfig {
             break_generation_bumps: false,
             seq_exec: SeqExecMode::Rse,
             host_threads: 1,
+            host_exec: None,
         }
     }
 }
@@ -187,6 +192,7 @@ pub(crate) fn run_once(
     ccfg.dsm.tlb_break_generation_bumps = cfg.break_generation_bumps;
     ccfg.dsm.seq_exec = cfg.seq_exec;
     ccfg.host_threads = cfg.host_threads;
+    ccfg.host_exec = cfg.host_exec;
     let mut cl = Cluster::new(ccfg, Arc::clone(&stats));
     cl.record_trace(trace);
     if let Some(sink) = race {

@@ -1,9 +1,10 @@
-//! Host-threading invariance: every committed pin in `tests/pins/` must be
-//! reproduced byte-for-byte when the same workload runs under duty-handoff
-//! host scheduling (`host_threads >= 2`) instead of the serial coordinator
-//! loop. The engine's per-group event queues and deterministic
-//! `(time, seq)` merge make host parallelism invisible to the simulation;
-//! this suite is the proof.
+//! Host-execution invariance: every committed pin in `tests/pins/` must be
+//! reproduced byte-for-byte under every host execution configuration — the
+//! serial coordinator loop, duty-handoff scheduling, and window-parallel
+//! conservative execution at 2 and 4 worker threads. The engine's
+//! per-group event queues, the `(time, src_group, seq)` event keys and the
+//! window barrier's deterministic merge make host parallelism invisible to
+//! the simulation; this suite is the proof.
 //!
 //! These tests are pure consumers of the serial pins — they never
 //! regenerate. Under `REPSEQ_PIN_REGEN=1` they stand down so the serial
@@ -16,95 +17,131 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use proptest::prelude::*;
 use repseq_apps::barnes_hut::{BarnesHut, BhConfig};
 use repseq_apps::ilink::{Ilink, IlinkConfig};
 use repseq_check::{
     kitchen_sink, rse_kernel, run_schedule_instrumented, Builder, HarnessConfig, Schedule,
 };
 use repseq_core::{RunConfig, Runtime};
+use repseq_dsm::SeqExecMode;
+use repseq_sim::HostExec;
 use support::{check_pin_readonly, regenerating, render, render_stats};
 
 const PIN_NODES: usize = 8;
-const HOST_THREADS: usize = 2;
 
-fn pin_bh_threaded(name: &str, mut cfg: RunConfig) {
-    if regenerating() {
-        eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
-        return;
+/// The host-execution matrix every pin is replayed under: `(threads,
+/// forced_mode)`. `None` is the automatic promotion (serial at 1 thread,
+/// window-parallel at ≥ 2); duty-handoff no longer wins the promotion, so
+/// it gets an explicit row to keep its resume machinery pinned too.
+const MATRIX: &[(usize, Option<HostExec>)] =
+    &[(1, None), (2, Some(HostExec::Handoff)), (2, None), (4, None)];
+
+fn matrix_label(threads: usize, exec: Option<HostExec>) -> String {
+    match exec {
+        Some(e) => format!("host_threads={threads} host_exec={e:?}"),
+        None => format!("host_threads={threads} host_exec=auto"),
     }
-    cfg.cluster.host_threads = HOST_THREADS;
-    let mut rt = Runtime::new(cfg);
-    let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
-    let stats = rt.stats();
-    let result = Arc::new(Mutex::new(None));
-    let slot = Arc::clone(&result);
-    let report = rt
-        .run(move |team| {
-            *slot.lock() = Some(bh.run(team)?);
-            Ok(())
-        })
-        .expect("threaded BH pin run must complete");
-    assert!(
-        report.exec.handoff_switches > 0,
-        "host_threads={HOST_THREADS} run never engaged duty handoff: {:?}",
-        report.exec
-    );
-    let r = result.lock().take().expect("BH result recorded");
-    check_pin_readonly(
-        name,
-        &render(&report, &stats.snapshot(), &format!("{r:?}")),
-        &format!("host_threads={HOST_THREADS}"),
-    );
 }
 
-fn pin_ilink_threaded(name: &str, mut cfg: RunConfig) {
+/// A non-serial run must actually engage its resume machinery: both the
+/// duty-handoff chains and the window workers count their cross-process
+/// resumes in `handoff_switches`.
+fn assert_engaged(threads: usize, exec: Option<HostExec>, counters: &repseq_sim::ExecCounters) {
+    if threads >= 2 {
+        assert!(
+            counters.handoff_switches > 0,
+            "{} never engaged its scheduler: {counters:?}",
+            matrix_label(threads, exec)
+        );
+    }
+    if exec.is_none() && threads >= 2 {
+        assert!(
+            counters.windows > 0,
+            "{} never opened a window: {counters:?}",
+            matrix_label(threads, exec)
+        );
+    }
+}
+
+fn pin_bh_threaded(name: &str, cfg: &RunConfig) {
     if regenerating() {
         eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
         return;
     }
-    cfg.cluster.host_threads = HOST_THREADS;
-    let mut rt = Runtime::new(cfg);
-    let il = Ilink::setup(&mut rt, IlinkConfig::tiny());
-    let stats = rt.stats();
-    let result = Arc::new(Mutex::new(None));
-    let slot = Arc::clone(&result);
-    let report = rt
-        .run(move |team| {
-            *slot.lock() = Some(il.run(team)?);
-            Ok(())
-        })
-        .expect("threaded Ilink pin run must complete");
-    assert!(
-        report.exec.handoff_switches > 0,
-        "host_threads={HOST_THREADS} run never engaged duty handoff: {:?}",
-        report.exec
-    );
-    let r = result.lock().take().expect("Ilink result recorded");
-    check_pin_readonly(
-        name,
-        &render(&report, &stats.snapshot(), &format!("{r:?}")),
-        &format!("host_threads={HOST_THREADS}"),
-    );
+    for &(threads, exec) in MATRIX {
+        let mut cfg = cfg.clone();
+        cfg.cluster.host_threads = threads;
+        cfg.cluster.host_exec = exec;
+        let mut rt = Runtime::new(cfg);
+        let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
+        let stats = rt.stats();
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let report = rt
+            .run(move |team| {
+                *slot.lock() = Some(bh.run(team)?);
+                Ok(())
+            })
+            .expect("threaded BH pin run must complete");
+        assert_engaged(threads, exec, &report.exec);
+        let r = result.lock().take().expect("BH result recorded");
+        check_pin_readonly(
+            name,
+            &render(&report, &stats.snapshot(), &format!("{r:?}")),
+            &matrix_label(threads, exec),
+        );
+    }
+}
+
+fn pin_ilink_threaded(name: &str, cfg: &RunConfig) {
+    if regenerating() {
+        eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
+        return;
+    }
+    for &(threads, exec) in MATRIX {
+        let mut cfg = cfg.clone();
+        cfg.cluster.host_threads = threads;
+        cfg.cluster.host_exec = exec;
+        let mut rt = Runtime::new(cfg);
+        let il = Ilink::setup(&mut rt, IlinkConfig::tiny());
+        let stats = rt.stats();
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let report = rt
+            .run(move |team| {
+                *slot.lock() = Some(il.run(team)?);
+                Ok(())
+            })
+            .expect("threaded Ilink pin run must complete");
+        assert_engaged(threads, exec, &report.exec);
+        let r = result.lock().take().expect("Ilink result recorded");
+        check_pin_readonly(
+            name,
+            &render(&report, &stats.snapshot(), &format!("{r:?}")),
+            &matrix_label(threads, exec),
+        );
+    }
 }
 
 #[test]
 fn barnes_hut_master_only_pin_survives_host_threading() {
-    pin_bh_threaded("bh_master_only", RunConfig::original(PIN_NODES));
+    pin_bh_threaded("bh_master_only", &RunConfig::original(PIN_NODES));
 }
 
 #[test]
 fn barnes_hut_rse_pin_survives_host_threading() {
-    pin_bh_threaded("bh_rse", RunConfig::optimized(PIN_NODES));
+    pin_bh_threaded("bh_rse", &RunConfig::optimized(PIN_NODES));
 }
 
 #[test]
 fn ilink_master_only_pin_survives_host_threading() {
-    pin_ilink_threaded("ilink_master_only", RunConfig::original(PIN_NODES));
+    pin_ilink_threaded("ilink_master_only", &RunConfig::original(PIN_NODES));
 }
 
 #[test]
 fn ilink_rse_pin_survives_host_threading() {
-    pin_ilink_threaded("ilink_rse", RunConfig::optimized(PIN_NODES));
+    pin_ilink_threaded("ilink_rse", &RunConfig::optimized(PIN_NODES));
 }
 
 fn pin_harness_threaded(name: &str, build: Builder, cfg: &HarnessConfig, sched: Schedule) {
@@ -112,22 +149,25 @@ fn pin_harness_threaded(name: &str, build: Builder, cfg: &HarnessConfig, sched: 
         eprintln!("REPSEQ_PIN_REGEN=1: skipping threaded rerun of {name}");
         return;
     }
-    let cfg = HarnessConfig { host_threads: HOST_THREADS, ..*cfg };
-    let out = run_schedule_instrumented(build, &cfg, sched, None).unwrap_or_else(|e| panic!("{e}"));
-    let mut s = String::new();
-    writeln!(s, "end_time_ns: {}", out.sim.end_time.nanos()).unwrap();
-    writeln!(s, "events_processed: {}", out.sim.events_processed).unwrap();
-    writeln!(s, "proc_clocks:").unwrap();
-    for (pname, t) in &out.sim.proc_clocks {
-        writeln!(s, "  {pname}: {}", t.nanos()).unwrap();
+    for &(threads, exec) in MATRIX {
+        let cfg = HarnessConfig { host_threads: threads, host_exec: exec, ..*cfg };
+        let out =
+            run_schedule_instrumented(build, &cfg, sched, None).unwrap_or_else(|e| panic!("{e}"));
+        let mut s = String::new();
+        writeln!(s, "end_time_ns: {}", out.sim.end_time.nanos()).unwrap();
+        writeln!(s, "events_processed: {}", out.sim.events_processed).unwrap();
+        writeln!(s, "proc_clocks:").unwrap();
+        for (pname, t) in &out.sim.proc_clocks {
+            writeln!(s, "  {pname}: {}", t.nanos()).unwrap();
+        }
+        writeln!(s, "mailbox_backlog:").unwrap();
+        for (pname, n) in &out.sim.mailbox_backlog {
+            writeln!(s, "  {pname}: {n}").unwrap();
+        }
+        writeln!(s, "drops: {}", out.drops).unwrap();
+        render_stats(&mut s, &out.stats);
+        check_pin_readonly(name, &s, &matrix_label(threads, exec));
     }
-    writeln!(s, "mailbox_backlog:").unwrap();
-    for (pname, n) in &out.sim.mailbox_backlog {
-        writeln!(s, "  {pname}: {n}").unwrap();
-    }
-    writeln!(s, "drops: {}", out.drops).unwrap();
-    render_stats(&mut s, &out.stats);
-    check_pin_readonly(name, &s, &format!("host_threads={HOST_THREADS}"));
 }
 
 #[test]
@@ -160,15 +200,16 @@ fn kitchen_sink_clean_pin_survives_host_threading() {
     );
 }
 
-/// Pin-file-independent invariance: the same workload at 1 vs 4 host
-/// threads produces identical reports and statistics, compared directly in
-/// memory. Catches drift even mid-regeneration when the pin files are in
-/// flux.
+/// Pin-file-independent invariance: the same workload across the whole
+/// host-execution matrix produces identical reports and statistics,
+/// compared directly in memory. Catches drift even mid-regeneration when
+/// the pin files are in flux.
 #[test]
 fn report_and_stats_identical_across_thread_counts() {
-    let run = |threads: usize| {
+    let run = |threads: usize, exec: Option<HostExec>| {
         let mut cfg = RunConfig::optimized(PIN_NODES);
         cfg.cluster.host_threads = threads;
+        cfg.cluster.host_exec = exec;
         let mut rt = Runtime::new(cfg);
         let bh = BarnesHut::setup(&mut rt, BhConfig::tiny());
         let stats = rt.stats();
@@ -183,23 +224,26 @@ fn report_and_stats_identical_across_thread_counts() {
         let r = result.lock().take().expect("result recorded");
         render(&report, &stats.snapshot(), &format!("{r:?}"))
     };
-    let serial = run(1);
-    let threaded = run(4);
-    assert_eq!(serial, threaded, "host_threads=4 diverged from serial execution");
+    let serial = run(1, None);
+    for &(threads, exec) in &MATRIX[1..] {
+        let other = run(threads, exec);
+        assert_eq!(serial, other, "{} diverged from serial execution", matrix_label(threads, exec));
+    }
 }
 
 /// The zipfian load generator and the KV serving run are bit-identical
-/// across host thread counts. The trace uses counter-based hashing (no
-/// host RNG, no iteration-order state), so its hash must not move; and
+/// across the host-execution matrix. The trace uses counter-based hashing
+/// (no host RNG, no iteration-order state), so its hash must not move; and
 /// the full rendered report — virtual end time, statistics, fingerprint,
 /// tail latencies — must match byte for byte between the serial
-/// coordinator and duty-handoff scheduling.
+/// coordinator, duty-handoff and window-parallel execution.
 #[test]
 fn kv_trace_and_run_identical_across_thread_counts() {
     use repseq_apps::kv::{KvConfig, KvStore};
-    let run = |threads: usize| {
+    let run = |threads: usize, exec: Option<HostExec>| {
         let mut cfg = RunConfig::optimized(PIN_NODES);
         cfg.cluster.host_threads = threads;
+        cfg.cluster.host_exec = exec;
         let mut rt = Runtime::new(cfg);
         let kv = KvStore::setup(&mut rt, KvConfig::tiny());
         let trace_hash = kv.trace_hash();
@@ -215,8 +259,58 @@ fn kv_trace_and_run_identical_across_thread_counts() {
         let r = result.lock().take().expect("result recorded");
         (trace_hash, render(&report, &stats.snapshot(), &format!("{r:?}")))
     };
-    let (hash1, serial) = run(1);
-    let (hash2, threaded) = run(2);
-    assert_eq!(hash1, hash2, "zipfian trace diverged across host thread counts");
-    assert_eq!(serial, threaded, "KV run at host_threads=2 diverged from serial execution");
+    let (hash1, serial) = run(1, None);
+    for &(threads, exec) in &MATRIX[1..] {
+        let (hash2, other) = run(threads, exec);
+        assert_eq!(hash1, hash2, "zipfian trace diverged across host thread counts");
+        assert_eq!(
+            serial,
+            other,
+            "KV run under {} diverged from serial execution",
+            matrix_label(threads, exec)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Torture-schedule invariance: across random loss seeds, drop rates
+    /// and sequential-section strategies, the window-parallel engine must
+    /// reproduce the serial coordinator's `SimFingerprint` *and* the full
+    /// per-node `StatsSnapshot` exactly — on lossy schedules the §5.4.2
+    /// recovery machinery runs, so this covers timeout wakeups, reply
+    /// chains and out-of-band multicasts crossing window barriers.
+    #[test]
+    fn torture_schedules_are_window_invariant(
+        (seed, rate_idx, strat_idx) in (0u64..1_000_000, 0usize..4, 0usize..3)
+    ) {
+        let sched = Schedule {
+            seed,
+            drop_per_mille: [0u32, 60, 150, 300][rate_idx],
+            unicast: rate_idx % 2 == 1,
+        };
+        let seq_exec =
+            [SeqExecMode::Rse, SeqExecMode::MasterOnly, SeqExecMode::MasterPush][strat_idx];
+        let run = |threads: usize| {
+            let cfg = HarnessConfig {
+                seq_exec,
+                host_threads: threads,
+                ..HarnessConfig::default()
+            };
+            run_schedule_instrumented(rse_kernel, &cfg, sched, None)
+                .unwrap_or_else(|e| panic!("schedule {sched:?} ({seq_exec:?}): {e}"))
+        };
+        let serial = run(1);
+        let window = run(4);
+        prop_assert_eq!(
+            &serial.sim, &window.sim,
+            "fingerprint diverged on {:?} ({:?})", sched, seq_exec
+        );
+        prop_assert_eq!(
+            &serial.stats, &window.stats,
+            "stats diverged on {:?} ({:?})", sched, seq_exec
+        );
+        prop_assert_eq!(serial.drops, window.drops);
+    }
 }

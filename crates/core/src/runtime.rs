@@ -93,6 +93,14 @@ impl Runtime {
         self.cluster.set_race_sink(sink);
     }
 
+    /// Record the kernel event trace during the run (see
+    /// `SimReport::trace`), so a failing schedule can be diffed against a
+    /// clean run event by event. Off by default — tracing a long run costs
+    /// memory.
+    pub fn record_trace(&mut self, on: bool) {
+        self.cluster.record_trace(on);
+    }
+
     /// Allocate a shared array (8-byte aligned).
     pub fn alloc_array<T: Pod>(&mut self, len: usize) -> ShArray<T> {
         self.cluster.alloc_array(len)

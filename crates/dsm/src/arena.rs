@@ -38,8 +38,19 @@ impl<T> Default for BufPool<T> {
 
 impl<T> BufPool<T> {
     /// An empty vector, reusing a recycled allocation when one is banked.
+    /// Reports a hit (allocation saved) or miss to the host-side counters,
+    /// so the bench harness can show how much churn the arena absorbs.
     pub(crate) fn take(&mut self) -> Vec<T> {
-        self.free.pop().unwrap_or_default()
+        match self.free.pop() {
+            Some(v) => {
+                repseq_stats::host::scratch_pool_hit();
+                v
+            }
+            None => {
+                repseq_stats::host::scratch_pool_miss();
+                Vec::new()
+            }
+        }
     }
 
     /// Return a vector for reuse. Contents are dropped here; allocations
@@ -57,7 +68,8 @@ impl<T> BufPool<T> {
 #[derive(Default)]
 pub(crate) struct ScratchArena {
     /// `(owner, interval)` notice lists: fetch planning, completability
-    /// checks, diff application.
+    /// checks, diff application, and the per-page write-notice walk of the
+    /// §5.4.1 requester election on the valid-notice exchange path.
     pub(crate) notices: BufPool<(NodeId, u32)>,
     /// Weighted diff batches assembled by `apply_cached_diffs`.
     pub(crate) diff_batch: BufPool<(u64, DiffEntry)>,

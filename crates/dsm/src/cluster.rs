@@ -30,12 +30,18 @@ pub struct ClusterConfig {
     /// Interconnect parameters.
     pub net: NetConfig,
     /// Host threads driving the simulation: 1 (default) runs the classic
-    /// serial coordinator loop; ≥ 2 switches the engine to duty-handoff
-    /// scheduling with one group per node and the network's minimum
-    /// cross-node latency as the conservative lookahead. The simulated
-    /// results — virtual times, messages, statistics, traces — are
-    /// bit-identical either way; only host wall time changes.
+    /// serial coordinator loop; ≥ 2 promotes the engine to window-parallel
+    /// conservative execution with one group per node and the network's
+    /// minimum cross-node latency as the conservative lookahead. The
+    /// simulated results — virtual times, messages, statistics, traces —
+    /// are bit-identical either way; only host wall time changes.
     pub host_threads: usize,
+    /// Force a specific host execution mode instead of the automatic
+    /// promotion: `None` (default) picks serial for one thread and
+    /// window-parallel for ≥ 2; `Some(mode)` pins the engine to that mode
+    /// (the bench harness uses this to compare duty-handoff against
+    /// window-parallel at the same thread count).
+    pub host_exec: Option<repseq_sim::HostExec>,
 }
 
 impl ClusterConfig {
@@ -46,6 +52,7 @@ impl ClusterConfig {
             dsm: DsmConfig::default(),
             net: NetConfig::paper(n),
             host_threads: 1,
+            host_exec: None,
         }
     }
 }
@@ -74,7 +81,9 @@ pub struct LaunchOutcome {
     pub result: Result<SimReport, SimError>,
     /// One [`RseProbe`] per node, snapshotted after the simulation ended.
     pub probes: Vec<RseProbe>,
-    /// Every frame the loss injector dropped, in decision order.
+    /// Every frame the loss injector dropped, in canonical
+    /// `(at, src, dst, pair_seq, multicast)` order (host-invariant; see
+    /// [`repseq_net::Network::loss_events`]).
     pub loss_events: Vec<repseq_net::LossEvent>,
 }
 
@@ -244,16 +253,25 @@ impl Cluster {
             });
             assert_eq!(pid, topo.app_pids[i]);
         }
-        if self.cfg.host_threads >= 2 {
-            // Duty-handoff host scheduling: group each node's two processes
-            // together so a node's local event runs stay on one OS thread,
-            // with the network's minimum cross-node latency as the
-            // conservative lookahead bound.
-            sim.set_parallel(self.cfg.host_threads, self.cfg.net.min_cross_latency());
-            for i in 0..n {
-                sim.assign_group(topo.handler_pids[i], i);
-                sim.assign_group(topo.app_pids[i], i);
-            }
+        // Group each node's two processes together so a node's local event
+        // runs stay on one scheduling unit, with the network's minimum
+        // cross-node latency as the conservative lookahead bound. The
+        // grouping (and the lookahead) is applied in *every* mode, single
+        // threaded included: event keys carry the pusher's group and a
+        // per-group sequence number, and the post-exit quiescence tail is
+        // bounded by the lookahead horizon, so leaving a serial run
+        // ungrouped would give it a different tie order (and a different
+        // processed-event count) than the very runs it is the determinism
+        // baseline for. With `host_exec: None`, ≥ 2 threads promote to
+        // window-parallel execution; a forced mode is honored as-is.
+        let lookahead = self.cfg.net.min_cross_latency();
+        match self.cfg.host_exec {
+            Some(exec) => sim.set_exec(exec, self.cfg.host_threads, lookahead),
+            None => sim.set_parallel(self.cfg.host_threads, lookahead),
+        }
+        for i in 0..n {
+            sim.assign_group(topo.handler_pids[i], i);
+            sim.assign_group(topo.app_pids[i], i);
         }
         let result = sim.run();
         let probes = states.iter().map(|s| s.lock().rse_probe()).collect();

@@ -312,8 +312,15 @@ impl NodeState {
     pub(crate) fn elect_requester(&mut self, p: PageId) -> (NodeId, Vec<(NodeId, u32)>) {
         let n = self.n;
         let me = self.node;
-        let page = self.page_mut(p);
-        let notices = page.notices.clone();
+        // Walk the page's write notices against every node's exchanged
+        // valid notice. The snapshot buffer comes from the scratch arena
+        // (`page.notices` cannot be borrowed across `self` accesses below),
+        // and each node's missing set is folded into `wanted` in place —
+        // the old per-node `collect` allocated n short-lived vectors per
+        // election, a steady drumbeat at hundreds of nodes. `wanted` itself
+        // escapes into the multicast request message, so it stays owned.
+        let mut notices = self.scratch.notices.take();
+        notices.extend_from_slice(&self.page_mut(p).notices);
         let zero = Vc::zero(n);
         let mut requester = None;
         let mut wanted: Vec<(NodeId, u32)> = Vec::new();
@@ -325,17 +332,17 @@ impl NodeState {
             } else {
                 self.rse.valid_known[q].get(&p).unwrap_or(&zero)
             };
-            let missing: Vec<(NodeId, u32)> =
-                notices.iter().copied().filter(|&(o, i)| !valid_q.covers(o, i)).collect();
-            if !missing.is_empty() {
+            for &(o, i) in notices.iter() {
+                if valid_q.covers(o, i) {
+                    continue;
+                }
                 requester.get_or_insert(q);
-                for m in missing {
-                    if !wanted.contains(&m) {
-                        wanted.push(m);
-                    }
+                if !wanted.contains(&(o, i)) {
+                    wanted.push((o, i));
                 }
             }
         }
+        self.scratch.notices.give(notices);
         wanted.sort();
         (requester.expect("election on a page nobody faults on"), wanted)
     }

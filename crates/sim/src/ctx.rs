@@ -6,12 +6,19 @@ use std::sync::Arc;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::engine::{Ctrl, DrainOutcome, Envelope, EventKind, ExecMode, Kernel, Pid, Status};
+use crate::engine::{
+    Ctrl, DrainOutcome, Envelope, EvKey, EventKind, ExecMode, Kernel, Pid, Status, WindowSync,
+};
 use crate::error::Stopped;
 use crate::time::{Dur, SimTime};
 
 pub(crate) enum Resume {
-    Go { time: SimTime, timed_out: bool },
+    /// Resume at the given event key's time. The full key rides along so
+    /// the process knows its group's window envelope (see [`Ctx::ordered`]).
+    Go {
+        key: EvKey,
+        timed_out: bool,
+    },
     Stop,
 }
 
@@ -28,30 +35,54 @@ pub(crate) enum Resume {
 pub struct Ctx<M: Send + 'static> {
     pid: Pid,
     kernel: Arc<Mutex<Kernel<M>>>,
+    /// Global control channel (serial/handoff yields; window mode routes
+    /// through the kernel instead).
     ctrl_tx: Sender<Ctrl>,
     resume_rx: Receiver<Resume>,
+    /// Window-mode link arbiter, shared with the kernel (see
+    /// [`Ctx::ordered`]).
+    sync: Arc<WindowSync>,
     /// Local copy of the process clock (nanoseconds); authoritative while
     /// the process runs, written back to the kernel at yields.
     clock: Cell<u64>,
     /// Compute time charged since the last yield.
     pending: Cell<u64>,
+    /// Key of the event that last resumed this process. While the process
+    /// runs, this *is* its group's window envelope (the group's drain
+    /// stopped at that pop and only restarts after the process blocks), so
+    /// [`Ctx::ordered`] can hand the arbiter its position without touching
+    /// the kernel lock.
+    cur_key: Cell<EvKey>,
 }
 
 impl<M: Send + 'static> Ctx<M> {
     pub(crate) fn new(
         pid: Pid,
         kernel: Arc<Mutex<Kernel<M>>>,
-        ctrl_tx: Sender<Ctrl>,
         resume_rx: Receiver<Resume>,
     ) -> Self {
-        Ctx { pid, kernel, ctrl_tx, resume_rx, clock: Cell::new(0), pending: Cell::new(0) }
+        let (ctrl_tx, sync) = {
+            let k = kernel.lock();
+            (k.ctrl_tx.clone(), Arc::clone(&k.sync))
+        };
+        Ctx {
+            pid,
+            kernel,
+            ctrl_tx,
+            resume_rx,
+            sync,
+            clock: Cell::new(0),
+            pending: Cell::new(0),
+            cur_key: Cell::new((SimTime::ZERO, 0, 0)),
+        }
     }
 
     /// Block until the engine first schedules this process.
     pub(crate) fn wait_first_resume(&self) -> Result<(), Stopped> {
         match self.resume_rx.recv() {
-            Ok(Resume::Go { time, .. }) => {
-                self.clock.set(time.nanos());
+            Ok(Resume::Go { key, .. }) => {
+                self.clock.set(key.0.nanos());
+                self.cur_key.set(key);
                 Ok(())
             }
             Ok(Resume::Stop) | Err(_) => Err(Stopped),
@@ -78,6 +109,23 @@ impl<M: Send + 'static> Ctx<M> {
         self.pending.set(self.pending.get() + d.nanos());
     }
 
+    /// Run `f` in global event order: under window-parallel execution,
+    /// block until every other concurrently-executing node group has
+    /// advanced past this process's current event key, so operations on
+    /// *shared simulated resources* (the network's link-occupancy state)
+    /// happen in exactly the order the serial coordinator would produce.
+    /// Free outside window mode (one relaxed atomic load), and never a
+    /// *virtual-time* yield — only host-level waiting.
+    ///
+    /// The wait is deadlock-free: event keys are globally unique and
+    /// totally ordered, so the group holding the minimal in-flight key is
+    /// never blocked, and positions only advance.
+    #[inline]
+    pub fn ordered<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.sync.await_turn(self.pid, self.cur_key.get());
+        f()
+    }
+
     /// Schedule delivery of `msg` to `dst` at `deliver_at` (virtual time).
     /// The delivery time is computed by the caller — in this workspace, by
     /// the network model, which accounts for link occupancy. Never yields.
@@ -85,7 +133,11 @@ impl<M: Send + 'static> Ctx<M> {
         let at = deliver_at.max(self.now());
         let mut k = self.kernel.lock();
         debug_assert!(dst < k.procs.len(), "send to unknown pid {dst}");
-        k.push_event(at, EventKind::Deliver { dst, env: Envelope { from: self.pid, at, msg } });
+        k.push_event(
+            self.pid,
+            at,
+            EventKind::Deliver { dst, env: Envelope { from: self.pid, at, msg } },
+        );
     }
 
     /// Sleep for `d` of virtual time (plus any pending charge).
@@ -94,7 +146,7 @@ impl<M: Send + 'static> Ctx<M> {
         self.block(|k, pid| {
             let gen = k.bump_gen(pid);
             k.procs[pid].status = Status::Sleeping;
-            k.push_event(wake_at, EventKind::Wake { pid, gen });
+            k.push_event(pid, wake_at, EventKind::Wake { pid, gen });
         })?;
         Ok(())
     }
@@ -127,11 +179,12 @@ impl<M: Send + 'static> Ctx<M> {
         let at = self.flushed_clock_peek();
         // Fast path: a message already in the mailbox was delivered at or
         // before this process's last resume, so it can be consumed right
-        // now without a checkpoint event or a yield. Only one process
-        // runs at a time and deliveries are applied in global (time, seq)
-        // order, so the mailbox front is exactly what the checkpoint path
-        // would return — minus two host context switches (serial mode) or
-        // a kernel round trip (handoff mode) per received burst message.
+        // now without a checkpoint event or a yield. Only one process per
+        // group runs at a time and deliveries are applied in global
+        // (time, src_group, seq) order, so the mailbox front is exactly
+        // what the checkpoint path would return — minus two host context
+        // switches (serial mode) or a kernel round trip (handoff mode) per
+        // received burst message.
         {
             let mut k = self.kernel.lock();
             if let Some(env) = k.procs[self.pid].mailbox.pop_front() {
@@ -143,10 +196,10 @@ impl<M: Send + 'static> Ctx<M> {
             k.procs[pid].status = Status::Polling { deadline };
             // Checkpoint wake at the current clock: by the time it pops, all
             // deliveries up to this instant are in the mailbox.
-            k.push_event(at, EventKind::Wake { pid, gen });
+            k.push_event(pid, at, EventKind::Wake { pid, gen });
             if let Some(dl) = deadline {
                 if dl > at {
-                    k.push_event(dl, EventKind::Wake { pid, gen });
+                    k.push_event(pid, dl, EventKind::Wake { pid, gen });
                 }
             }
         })?;
@@ -179,33 +232,59 @@ impl<M: Send + 'static> Ctx<M> {
     /// one of them resumes this very process it returns immediately — zero
     /// host context switches; if it resumes another process, duty moves
     /// there directly — one switch; if the queue runs dry, duty returns to
-    /// the coordinator for the termination check.
+    /// the coordinator for the termination check. The window mode is the
+    /// handoff discipline scoped to this process's own group and the
+    /// current window: the yielder drains its group below the horizon, and
+    /// when the group runs dry it returns duty to the window worker
+    /// driving the group.
     fn block(&self, setup: impl FnOnce(&mut Kernel<M>, Pid)) -> Result<(SimTime, bool), Stopped> {
         let c = self.flushed_clock();
         let mut k = self.kernel.lock();
         k.procs[self.pid].clock = c;
         setup(&mut k, self.pid);
-        if k.mode == ExecMode::Handoff {
-            match k.drain(Some(self.pid)) {
-                DrainOutcome::SelfResume { time, timed_out } => {
+        match k.mode {
+            ExecMode::Handoff => match k.drain(Some(self.pid)) {
+                DrainOutcome::SelfResume { key, timed_out } => {
                     drop(k);
-                    self.clock.set(time.nanos());
-                    return Ok((time, timed_out));
+                    self.clock.set(key.0.nanos());
+                    self.cur_key.set(key);
+                    return Ok((key.0, timed_out));
                 }
                 DrainOutcome::Handoff => drop(k),
                 DrainOutcome::Empty => {
                     drop(k);
                     self.ctrl_tx.send(Ctrl::Idle(self.pid)).map_err(|_| Stopped)?;
                 }
+            },
+            ExecMode::Window => {
+                let g = k.group_of(self.pid);
+                match k.drain_window(g, Some(self.pid)) {
+                    DrainOutcome::SelfResume { key, timed_out } => {
+                        drop(k);
+                        self.clock.set(key.0.nanos());
+                        self.cur_key.set(key);
+                        return Ok((key.0, timed_out));
+                    }
+                    DrainOutcome::Handoff => drop(k),
+                    DrainOutcome::Empty => {
+                        // The group's window is complete: return duty to
+                        // the worker driving it.
+                        let route = k.ctrl_route(self.pid);
+                        drop(k);
+                        route.send(Ctrl::Idle(self.pid)).map_err(|_| Stopped)?;
+                    }
+                }
             }
-        } else {
-            drop(k);
-            self.ctrl_tx.send(Ctrl::Yielded(self.pid)).map_err(|_| Stopped)?;
+            ExecMode::Serial => {
+                drop(k);
+                self.ctrl_tx.send(Ctrl::Yielded(self.pid)).map_err(|_| Stopped)?;
+            }
         }
         match self.resume_rx.recv() {
-            Ok(Resume::Go { time, timed_out }) => {
-                self.clock.set(time.nanos());
-                Ok((time, timed_out))
+            Ok(Resume::Go { key, timed_out }) => {
+                self.clock.set(key.0.nanos());
+                self.cur_key.set(key);
+                Ok((key.0, timed_out))
             }
             Ok(Resume::Stop) | Err(_) => Err(Stopped),
         }

@@ -28,7 +28,7 @@ mod time;
 mod trace;
 
 pub use ctx::Ctx;
-pub use engine::{Envelope, ExecCounters, Pid, Sim, SimReport};
+pub use engine::{Envelope, ExecCounters, HostExec, Pid, Sim, SimReport};
 pub use error::{SimError, Stopped};
 pub use time::{Dur, SimTime};
 pub use trace::{first_divergence, Divergence, TraceClass, TraceEntry};

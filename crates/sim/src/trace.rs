@@ -19,7 +19,11 @@ pub enum TraceClass {
 pub struct TraceEntry {
     /// Virtual time of the event.
     pub time: SimTime,
-    /// Kernel sequence number (assigned at push, so also deterministic).
+    /// Scheduling group of the process that *pushed* the event (the event
+    /// key's second component — ties at equal time break by source group).
+    pub src: u64,
+    /// Sequence number drawn from the source group's counter at push
+    /// (assigned deterministically in every host execution mode).
     pub seq: u64,
     /// Affected process.
     pub pid: Pid,
@@ -33,7 +37,7 @@ impl TraceEntry {
             EventKind::Wake { pid, .. } => (*pid, TraceClass::Wake),
             EventKind::Deliver { dst, .. } => (*dst, TraceClass::Deliver),
         };
-        TraceEntry { time: ev.time, seq: ev.seq, pid, class }
+        TraceEntry { time: ev.time, src: ev.src, seq: ev.seq, pid, class }
     }
 
     /// True for a message delivery, false for a wake.

@@ -1,9 +1,12 @@
 //! Same-time event determinism: when events from *different* sources
-//! collide at one virtual instant, the kernel must drain them in `seq`
-//! order (the order their sends executed). This is the invariant any
-//! restructuring of the event queue — in particular the per-node-group
-//! sharding used by the parallel drain mode — must preserve, so it is
-//! pinned here independently of the engine's internal queue layout.
+//! collide at one virtual instant, the kernel must drain them in event-key
+//! order — `(time, src_group, seq)`, where `src_group` is the scheduling
+//! group of the pushing process and `seq` comes from that group's private
+//! counter. The key is assigned at push from state only the pusher's own
+//! (serialized) execution touches, so it is identical in every host
+//! execution mode — including the window-parallel mode, where worker
+//! threads race in wall-clock time but never in key space. This invariant
+//! is pinned here independently of the engine's internal queue layout.
 
 use std::sync::Arc;
 
@@ -12,9 +15,10 @@ use repseq_sim::{Dur, Sim, SimTime, TraceClass};
 
 /// Three senders, staggered in virtual time, each address the same receiver
 /// with bursts that all land at the *same* delivery instant. The receiver
-/// must observe them ordered by the kernel sequence numbers the sends were
-/// assigned — i.e. grouped by sender in sender-execution order — not by any
-/// property of the queue they happened to sit in.
+/// must observe them grouped by source group in group-id order (each
+/// process is its own group here), with each sender's burst preserving its
+/// send-execution order — not ordered by send execution time across
+/// senders, and not by any property of the queue they happened to sit in.
 #[test]
 fn colliding_deliveries_from_multiple_sources_drain_in_seq_order() {
     let collide_at = SimTime::from_nanos(100_000);
@@ -31,9 +35,10 @@ fn colliding_deliveries_from_multiple_sources_drain_in_seq_order() {
     });
     for (i, delay_us) in [(0u32, 30u64), (1, 10), (2, 20)] {
         sim.spawn(&format!("tx{i}"), move |ctx| {
-            // Stagger the send *execution* times; the delivery times all
-            // collide. Seq assignment follows execution order: tx1 (10us),
-            // tx2 (20us), tx0 (30us).
+            // Stagger the send *execution* times (tx1 at 10us, tx2 at 20us,
+            // tx0 at 30us); the delivery times all collide. The tie breaks
+            // by source group — tx0 (pid 1), tx1 (pid 2), tx2 (pid 3) —
+            // regardless of which send executed first.
             ctx.sleep(Dur::from_micros(delay_us))?;
             ctx.send(0, i * 10, collide_at);
             ctx.send(0, i * 10 + 1, collide_at);
@@ -41,12 +46,16 @@ fn colliding_deliveries_from_multiple_sources_drain_in_seq_order() {
         });
     }
     sim.run().unwrap();
-    assert_eq!(*got.lock(), vec![10, 11, 20, 21, 0, 1], "drain order must follow seq tiebreak");
+    assert_eq!(
+        *got.lock(),
+        vec![0, 1, 10, 11, 20, 21],
+        "drain order must follow the (time, src_group, seq) tiebreak"
+    );
 }
 
 /// Same collision, but one copy of the receiver is *busy* past the instant
 /// (messages queue in the mailbox) and another blocks into it (messages
-/// resume it). Both must observe the identical seq-tiebreak order: mailbox
+/// resume it). Both must observe the identical key-tiebreak order: mailbox
 /// insertion order is drain order.
 #[test]
 fn queued_and_blocking_receivers_observe_the_same_tie_order() {
@@ -80,25 +89,27 @@ fn queued_and_blocking_receivers_observe_the_same_tie_order() {
     }
     let blocking = run(false);
     let queued = run(true);
-    assert_eq!(blocking, vec![101, 201, 100, 200]);
-    assert_eq!(queued, blocking, "mailbox backlog must preserve the seq-tiebreak order");
+    // tx0 is pid 1 (lower source group) even though tx1's sends executed
+    // first in virtual time.
+    assert_eq!(blocking, vec![100, 200, 101, 201]);
+    assert_eq!(queued, blocking, "mailbox backlog must preserve the key-tiebreak order");
 }
 
 /// A timer wake and a message delivery colliding at the same instant on the
-/// same process: the event pushed first (the delivery, scheduled before the
-/// receiver ever sleeps) wins the tie, so the sleeping receiver is woken by
+/// same process: the sender's group (pid 0) sorts below the receiver's own
+/// wake (pushed from pid 1's group), so the sleeping receiver is woken by
 /// its timer only after the delivery is already in its mailbox.
 #[test]
 fn wake_and_delivery_collision_follows_push_order() {
     let mut sim = Sim::<u32>::new();
     sim.spawn("tx", |ctx| {
-        // Pushed first: seq below the receiver's sleep wake.
+        // Source group 0: sorts below the receiver's sleep wake.
         ctx.send(1, 7, SimTime::from_nanos(10_000));
         Ok(())
     });
     sim.spawn("rx", |ctx| {
         ctx.sleep(Dur::from_micros(10))?; // wake collides with the delivery
-        let env = ctx.try_recv()?.expect("delivery with the lower seq must drain first");
+        let env = ctx.try_recv()?.expect("delivery with the lower key must drain first");
         assert_eq!(env.msg, 7);
         assert_eq!(ctx.now().nanos(), 10_000);
         Ok(())
@@ -107,9 +118,13 @@ fn wake_and_delivery_collision_follows_push_order() {
 }
 
 /// The kernel-level statement of the invariant, independent of mailbox
-/// semantics: the processed-event trace is strictly ordered by
-/// `(time, seq)`, and a burst of same-time events spanning several target
-/// processes drains with strictly increasing seq.
+/// semantics. The global trace is *not* flatly sorted by key — a process's
+/// same-instant follow-up events (e.g. its next receive checkpoint) carry
+/// its own group id and can sort below an already-drained key from a
+/// higher group — but virtual time never decreases, and each source
+/// group's events drain in strictly increasing `(time, seq)`: within one
+/// instant, a source's pushes (including a burst spanning several target
+/// processes) are consumed in the order that source executed them.
 #[test]
 fn trace_is_lexicographic_in_time_then_seq() {
     let mut sim = Sim::<u32>::new();
@@ -136,11 +151,33 @@ fn trace_is_lexicographic_in_time_then_seq() {
     assert!(!trace.is_empty());
     for w in trace.windows(2) {
         assert!(
-            (w[0].time, w[0].seq) < (w[1].time, w[1].seq),
-            "events must drain in strictly increasing (time, seq): {:?} then {:?}",
+            w[0].time <= w[1].time,
+            "virtual time must never decrease: {:?} then {:?}",
             w[0],
             w[1]
         );
+        if w[0].src == w[1].src {
+            assert!(
+                (w[0].time, w[0].seq) < (w[1].time, w[1].seq),
+                "one source's events must drain in push order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+    // The stronger per-source statement over the whole (non-adjacent)
+    // subsequence, not just neighboring entries.
+    let sources: std::collections::BTreeSet<u64> = trace.iter().map(|e| e.src).collect();
+    for s in sources {
+        let sub: Vec<_> = trace.iter().filter(|e| e.src == s).collect();
+        for w in sub.windows(2) {
+            assert!(
+                (w[0].time, w[0].seq) < (w[1].time, w[1].seq),
+                "source {s} events must drain in (time, seq) order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
     }
     // The colliding burst at t=20us drains as one same-time run of
     // deliveries with increasing seq across *different* target pids.
@@ -152,6 +189,6 @@ fn trace_is_lexicographic_in_time_then_seq() {
     assert_eq!(
         burst.iter().map(|e| e.pid).collect::<Vec<_>>(),
         vec![0, 1, 2],
-        "same-time deliveries to distinct processes drain in send (seq) order"
+        "same-time deliveries from one source drain in send (seq) order"
     );
 }

@@ -1,0 +1,253 @@
+//! Window-parallel conservative execution: correctness pins for the
+//! three host execution modes.
+//!
+//! The engine promises that host scheduling is invisible to the
+//! simulation: the serial coordinator, the duty-handoff mode, and the
+//! window-parallel worker pool must produce bit-identical reports and
+//! traces. These tests force each mode explicitly through
+//! [`Sim::set_exec`] and compare, and pin the `(time, src_group, seq)`
+//! tiebreak for cross-group collisions that the window barrier's
+//! deterministic merge relies on.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use repseq_sim::{Dur, HostExec, Sim, SimReport, SimTime};
+
+const LOOKAHEAD: Dur = Dur::from_micros(10);
+
+/// Satellite pin: two sources in *different* groups each push a burst that
+/// collides at one virtual instant on a third-group receiver. The pops must
+/// follow `(time, src_group, seq)` — grouped by source group in group-id
+/// order, each group's burst in its push order — identically in all three
+/// exec modes, regardless of which source *executed* its sends first and of
+/// how host workers interleave.
+#[test]
+fn cross_group_same_time_ties_pop_in_key_order_in_all_modes() {
+    fn run(exec: HostExec, threads: usize) -> Vec<u32> {
+        let collide_at = SimTime::from_nanos(40_000);
+        let mut sim = Sim::<u32>::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = Arc::clone(&got);
+        let rx = sim.spawn("rx", move |ctx| {
+            for _ in 0..4 {
+                got2.lock().push(ctx.recv()?.msg);
+            }
+            Ok(())
+        });
+        // tx_b executes its sends *before* tx_a in virtual time; the tie
+        // still breaks by group id: tx_a (group 1) before tx_b (group 2).
+        let tx_a = sim.spawn("tx_a", move |ctx| {
+            ctx.sleep(Dur::from_micros(5))?;
+            ctx.send(0, 10, collide_at);
+            ctx.send(0, 11, collide_at);
+            Ok(())
+        });
+        let tx_b = sim.spawn("tx_b", move |ctx| {
+            ctx.sleep(Dur::from_micros(1))?;
+            ctx.send(0, 20, collide_at);
+            ctx.send(0, 21, collide_at);
+            Ok(())
+        });
+        sim.assign_group(rx, 0);
+        sim.assign_group(tx_a, 1);
+        sim.assign_group(tx_b, 2);
+        sim.set_exec(exec, threads, LOOKAHEAD);
+        sim.run().unwrap();
+        let v = got.lock().clone();
+        v
+    }
+    let serial = run(HostExec::Serial, 1);
+    assert_eq!(serial, vec![10, 11, 20, 21], "(time, src_group, seq) tiebreak");
+    assert_eq!(run(HostExec::Handoff, 2), serial, "handoff diverged from serial");
+    assert_eq!(run(HostExec::Window, 2), serial, "window-parallel diverged from serial");
+    assert_eq!(run(HostExec::Window, 4), serial, "window-parallel (4 threads) diverged");
+}
+
+/// A multi-group workload with real cross-group traffic and staggered
+/// compute: every node sends bursts to two neighbors with at least the
+/// lookahead of latency, while local follow-ups (receive checkpoints)
+/// create same-instant events. All three modes must agree on the full
+/// report *and* the event trace, entry for entry.
+fn mesh_run(exec: HostExec, threads: usize) -> SimReport {
+    const N: usize = 8;
+    const ROUNDS: u64 = 20;
+    let mut sim = Sim::<u64>::new();
+    let mut pids = Vec::new();
+    for i in 0..N {
+        let pid = sim.spawn(&format!("node{i}"), move |ctx| {
+            for k in 0..ROUNDS {
+                // Uneven compute so group heads drift apart and windows
+                // hold varying numbers of active groups.
+                ctx.charge(Dur::from_nanos(300 + ((i as u64 * 7 + k * 13) % 11) * 170));
+                let jitter = Dur::from_nanos(((i as u64 * 31 + k * 17) % 7) * 250);
+                let at = ctx.now() + LOOKAHEAD + jitter;
+                ctx.send((i + 1) % N, i as u64 * 1_000 + k, at);
+                ctx.send((i + 3) % N, i as u64 * 1_000_000 + k, at + Dur::from_nanos(40));
+            }
+            let mut sum = 0u64;
+            for _ in 0..2 * ROUNDS {
+                sum = sum.wrapping_mul(31).wrapping_add(ctx.recv()?.msg);
+            }
+            // Fold the receive-order-sensitive checksum into the clock so
+            // any divergence shows up in the report, not just the trace.
+            ctx.charge(Dur::from_nanos(sum % 97));
+            Ok(())
+        });
+        pids.push(pid);
+    }
+    for (g, pid) in pids.into_iter().enumerate() {
+        sim.assign_group(pid, g);
+    }
+    sim.set_exec(exec, threads, LOOKAHEAD);
+    sim.record_trace(true);
+    sim.run().unwrap()
+}
+
+fn assert_identical(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.end_time, b.end_time, "{what}: end_time diverged");
+    assert_eq!(a.events_processed, b.events_processed, "{what}: event count diverged");
+    assert_eq!(a.proc_clocks, b.proc_clocks, "{what}: process clocks diverged");
+    assert_eq!(a.mailbox_backlog, b.mailbox_backlog, "{what}: mailbox backlog diverged");
+    let (ta, tb) = (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    if let Some(d) = repseq_sim::first_divergence(ta, tb) {
+        panic!("{what}: traces diverged at {d:?}");
+    }
+}
+
+#[test]
+fn window_mode_reproduces_serial_bit_for_bit() {
+    let serial = mesh_run(HostExec::Serial, 1);
+    let handoff = mesh_run(HostExec::Handoff, 2);
+    let window2 = mesh_run(HostExec::Window, 2);
+    let window4 = mesh_run(HostExec::Window, 4);
+    assert_identical(&serial, &handoff, "handoff vs serial");
+    assert_identical(&serial, &window2, "window(2) vs serial");
+    assert_identical(&serial, &window4, "window(4) vs serial");
+    // The host-side counters are the only thing allowed to differ.
+    assert!(window4.exec.windows > 0, "window mode must count its windows");
+    assert!(
+        window4.exec.max_parallel_groups >= 2,
+        "the mesh must actually dispatch groups concurrently: {:?}",
+        window4.exec
+    );
+    assert_eq!(serial.exec.windows, 0, "serial mode has no windows");
+}
+
+/// Strict ping-pong between two groups with the reply latency equal to the
+/// lookahead: every window contains exactly one runnable group, so the
+/// coordinator drives each inline and counts a barrier stall — the
+/// counter that tells a flat workload from a parallelizable one.
+#[test]
+fn single_active_windows_are_counted_as_barrier_stalls() {
+    let mut sim = Sim::<u32>::new();
+    let a = sim.spawn("a", |ctx| {
+        for _ in 0..10 {
+            ctx.send(1, 1, ctx.now() + LOOKAHEAD);
+            ctx.recv()?;
+        }
+        Ok(())
+    });
+    let b = sim.spawn("b", |ctx| {
+        for _ in 0..10 {
+            ctx.recv()?;
+            ctx.send(0, 2, ctx.now() + LOOKAHEAD);
+        }
+        Ok(())
+    });
+    sim.assign_group(a, 0);
+    sim.assign_group(b, 1);
+    sim.set_exec(HostExec::Window, 2, LOOKAHEAD);
+    let report = sim.run().unwrap();
+    assert!(report.exec.windows > 0);
+    assert!(
+        report.exec.barrier_stalls > 0,
+        "a strict ping-pong offers no parallelism; every window stalls: {:?}",
+        report.exec
+    );
+    assert!(report.exec.max_parallel_groups <= 2);
+}
+
+/// `set_parallel` with 2+ threads is the window mode; degenerate
+/// configurations (no groups, zero lookahead) must quietly fall back to
+/// duty-handoff instead of wedging or diverging.
+#[test]
+fn degenerate_configurations_fall_back_to_handoff() {
+    // No assign_group calls: ungrouped.
+    let run_ungrouped = || {
+        let mut sim = Sim::<u32>::new();
+        sim.spawn("p", |ctx| {
+            ctx.send(1, 5, ctx.now() + Dur::from_micros(1));
+            Ok(())
+        });
+        sim.spawn("q", |ctx| {
+            assert_eq!(ctx.recv()?.msg, 5);
+            Ok(())
+        });
+        sim.set_parallel(4, LOOKAHEAD);
+        sim.run().unwrap()
+    };
+    let r = run_ungrouped();
+    // Handoff reuses `windows` for duty bursts; the window-only counters
+    // must stay untouched by the fallback.
+    assert_eq!(r.exec.max_parallel_groups, 0, "ungrouped runs cannot window");
+    assert_eq!(r.exec.barrier_stalls, 0, "ungrouped runs cannot window");
+
+    // Grouped but zero lookahead.
+    let mut sim = Sim::<u32>::new();
+    let p = sim.spawn("p", |ctx| {
+        ctx.send(1, 7, ctx.now() + Dur::from_micros(1));
+        Ok(())
+    });
+    let q = sim.spawn("q", |ctx| {
+        assert_eq!(ctx.recv()?.msg, 7);
+        Ok(())
+    });
+    sim.assign_group(p, 0);
+    sim.assign_group(q, 1);
+    sim.set_parallel(4, Dur::ZERO);
+    sim.run().unwrap();
+}
+
+/// Panics inside a window must surface as `ProcessPanicked`, with every
+/// other process stopped cleanly (no hang at the barrier).
+#[test]
+fn window_mode_reports_process_panics() {
+    let mut sim = Sim::<u32>::new();
+    let a = sim.spawn("doomed", |ctx| {
+        ctx.sleep(Dur::from_micros(5))?;
+        panic!("boom");
+    });
+    let b = sim.spawn("bystander", |ctx| loop {
+        ctx.sleep(Dur::from_micros(3))?;
+    });
+    sim.assign_group(a, 0);
+    sim.assign_group(b, 1);
+    sim.set_exec(HostExec::Window, 2, LOOKAHEAD);
+    match sim.run() {
+        Err(repseq_sim::SimError::ProcessPanicked { name, .. }) => assert_eq!(name, "doomed"),
+        other => panic!("expected ProcessPanicked, got {other:?}"),
+    }
+}
+
+/// Deadlock detection still works when windowing: two grouped processes
+/// waiting on each other forever must be reported, not spun on.
+#[test]
+fn window_mode_detects_deadlock() {
+    let mut sim = Sim::<u32>::new();
+    let a = sim.spawn("a", |ctx| {
+        ctx.recv()?;
+        Ok(())
+    });
+    let b = sim.spawn("b", |ctx| {
+        ctx.recv()?;
+        Ok(())
+    });
+    sim.assign_group(a, 0);
+    sim.assign_group(b, 1);
+    sim.set_exec(HostExec::Window, 2, LOOKAHEAD);
+    match sim.run() {
+        Err(repseq_sim::SimError::Deadlock { blocked }) => assert_eq!(blocked.len(), 2),
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}

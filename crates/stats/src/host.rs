@@ -23,6 +23,8 @@ static DIFF_APPLY_CALLS: AtomicU64 = AtomicU64::new(0);
 static DIFF_APPLY_BYTES: AtomicU64 = AtomicU64::new(0);
 static TWIN_POOL_HITS: AtomicU64 = AtomicU64::new(0);
 static TWIN_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
 static TLB_HITS: AtomicU64 = AtomicU64::new(0);
 static TLB_MISSES: AtomicU64 = AtomicU64::new(0);
 static RACE_CHECKS: AtomicU64 = AtomicU64::new(0);
@@ -62,6 +64,19 @@ pub fn twin_pool_hit() {
 /// The pool was empty; a fresh page buffer was allocated.
 pub fn twin_pool_miss() {
     TWIN_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small scratch vector (write-notice walk, requester election, diff
+/// batch) was served from a node's scratch arena — one heap allocation
+/// avoided on a protocol hot path.
+pub fn scratch_pool_hit() {
+    SCRATCH_POOL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The scratch arena had no banked buffer of the requested shape; a fresh
+/// vector was allocated.
+pub fn scratch_pool_miss() {
+    SCRATCH_POOL_MISSES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// A shared-memory access was served from the software TLB (mutex and
@@ -118,6 +133,11 @@ pub struct HostCounters {
     pub twin_pool_hits: u64,
     /// Twin allocations that fell through to the allocator.
     pub twin_pool_misses: u64,
+    /// Scratch vectors (notice walks, elections, diff batches) served from
+    /// the per-node arena: allocations saved on the protocol hot paths.
+    pub scratch_pool_hits: u64,
+    /// Scratch takes that fell through to the allocator.
+    pub scratch_pool_misses: u64,
     /// Shared-memory accesses served from the software TLB.
     pub tlb_hits: u64,
     /// Accesses that took the locked page walk.
@@ -140,6 +160,8 @@ pub fn snapshot() -> HostCounters {
         diff_apply_bytes: DIFF_APPLY_BYTES.load(Ordering::Relaxed),
         twin_pool_hits: TWIN_POOL_HITS.load(Ordering::Relaxed),
         twin_pool_misses: TWIN_POOL_MISSES.load(Ordering::Relaxed),
+        scratch_pool_hits: SCRATCH_POOL_HITS.load(Ordering::Relaxed),
+        scratch_pool_misses: SCRATCH_POOL_MISSES.load(Ordering::Relaxed),
         tlb_hits: TLB_HITS.load(Ordering::Relaxed),
         tlb_misses: TLB_MISSES.load(Ordering::Relaxed),
         race_checks: RACE_CHECKS.load(Ordering::Relaxed),
@@ -160,6 +182,8 @@ pub fn reset() {
         &DIFF_APPLY_BYTES,
         &TWIN_POOL_HITS,
         &TWIN_POOL_MISSES,
+        &SCRATCH_POOL_HITS,
+        &SCRATCH_POOL_MISSES,
         &TLB_HITS,
         &TLB_MISSES,
         &RACE_CHECKS,
@@ -181,6 +205,8 @@ impl HostCounters {
             diff_apply_bytes: self.diff_apply_bytes - earlier.diff_apply_bytes,
             twin_pool_hits: self.twin_pool_hits - earlier.twin_pool_hits,
             twin_pool_misses: self.twin_pool_misses - earlier.twin_pool_misses,
+            scratch_pool_hits: self.scratch_pool_hits - earlier.scratch_pool_hits,
+            scratch_pool_misses: self.scratch_pool_misses - earlier.scratch_pool_misses,
             tlb_hits: self.tlb_hits - earlier.tlb_hits,
             tlb_misses: self.tlb_misses - earlier.tlb_misses,
             race_checks: self.race_checks - earlier.race_checks,
@@ -202,6 +228,9 @@ mod tests {
         record_diff_apply(t, 100);
         twin_pool_hit();
         twin_pool_miss();
+        scratch_pool_hit();
+        scratch_pool_hit();
+        scratch_pool_miss();
         tlb_hit();
         tlb_miss();
         race_check();
@@ -214,6 +243,8 @@ mod tests {
         assert_eq!(delta.diff_apply_bytes, 100);
         assert_eq!(delta.twin_pool_hits, 1);
         assert_eq!(delta.twin_pool_misses, 1);
+        assert_eq!(delta.scratch_pool_hits, 2);
+        assert_eq!(delta.scratch_pool_misses, 1);
         assert_eq!(delta.tlb_hits, 1);
         assert_eq!(delta.tlb_misses, 1);
         assert_eq!(delta.race_checks, 2);

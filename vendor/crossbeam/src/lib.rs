@@ -2,14 +2,16 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the API subset it actually uses: `crossbeam::channel`'s
-//! unbounded MPSC channel (`unbounded`, `Sender`, `Receiver`), backed by
-//! `std::sync::mpsc`. The simulation engine uses exactly one receiver per
-//! channel, so MPSC semantics are sufficient.
+//! unbounded MPMC channel (`unbounded`, `Sender`, `Receiver`). Like the
+//! real crate — and unlike `std::sync::mpsc` — both halves are cloneable:
+//! the simulation engine's window-worker pool shares one work queue among
+//! several consumer threads.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    /// Error returned by [`Sender::send`] when the receiver is gone.
+    /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -33,44 +35,108 @@ pub mod channel {
         Disconnected,
     }
 
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
     /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut i = self.0.lock();
+            i.senders -= 1;
+            if i.senders == 0 {
+                // Unblock receivers waiting for a message that will never
+                // come.
+                self.0.cv.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueue `value`, failing only if the receiver was dropped.
+        /// Enqueue `value`, failing only if every receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut i = self.0.lock();
+            if i.receivers == 0 {
+                return Err(SendError(value));
+            }
+            i.queue.push_back(value);
+            self.0.cv.notify_one();
+            Ok(())
         }
     }
 
-    /// Receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    /// Receiving half of an unbounded channel. Cloneable: clones share one
+    /// queue, and each message is delivered to exactly one receiver.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.lock().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.lock().receivers -= 1;
+        }
+    }
 
     impl<T> Receiver<T> {
         /// Block until a value arrives or every sender disconnects.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut i = self.0.lock();
+            loop {
+                if let Some(v) = i.queue.pop_front() {
+                    return Ok(v);
+                }
+                if i.senders == 0 {
+                    return Err(RecvError);
+                }
+                i = self.0.cv.wait(i).unwrap_or_else(|e| e.into_inner());
+            }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut i = self.0.lock();
+            match i.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if i.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 }
 
@@ -96,5 +162,37 @@ mod tests {
         let (tx, rx) = unbounded();
         std::thread::spawn(move || tx.send("hi").unwrap());
         assert_eq!(rx.recv(), Ok("hi"));
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_queue() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        for v in 0..100 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let mut all = got;
+        all.extend(h.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
     }
 }
